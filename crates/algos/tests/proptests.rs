@@ -1,0 +1,51 @@
+//! Property tests for the companion algorithms.
+
+use cfmerge_algos::bitonic::bitonic_sort;
+use cfmerge_algos::radix::radix_sort;
+use cfmerge_algos::scan::{block_exclusive_scan, exclusive_scan_reference, ScanKind};
+use cfmerge_gpu_sim::banks::BankModel;
+use cfmerge_gpu_sim::device::Device;
+use cfmerge_gpu_sim::timing::TimingModel;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every scan variant equals the reference on arbitrary data,
+    /// including wrap-around sums.
+    #[test]
+    fn prop_scans_agree(
+        input in (5usize..=10)
+            .prop_flat_map(|k| proptest::collection::vec(any::<u32>(), 1usize << k))
+    ) {
+        let expect = exclusive_scan_reference(&input);
+        for kind in [ScanKind::HillisSteele, ScanKind::Blelloch, ScanKind::BlellochPadded] {
+            let (out, _) = block_exclusive_scan(BankModel::nvidia(), &input, kind);
+            prop_assert_eq!(&out, &expect);
+        }
+    }
+
+    /// Padded Blelloch never conflicts; unpadded never beats it.
+    #[test]
+    fn prop_padding_dominates(k in 5usize..=10) {
+        let input: Vec<u32> = (0..(1usize << k) as u32).collect();
+        let (_, unpadded) = block_exclusive_scan(BankModel::nvidia(), &input, ScanKind::Blelloch);
+        let (_, padded) =
+            block_exclusive_scan(BankModel::nvidia(), &input, ScanKind::BlellochPadded);
+        prop_assert_eq!(padded.total_bank_conflicts(), 0);
+        prop_assert!(unpadded.total_bank_conflicts() >= padded.total_bank_conflicts());
+    }
+
+    /// Bitonic and radix sort arbitrary inputs (sizes not powers of two).
+    #[test]
+    fn prop_alternative_sorts_agree(input in proptest::collection::vec(any::<u32>(), 0..3000)) {
+        let mut expect = input.clone();
+        expect.sort_unstable();
+        let dev = Device::rtx2080ti();
+        let tm = TimingModel::rtx2080ti_like();
+        let b = bitonic_sort(&input, 64, &dev, &tm, false);
+        prop_assert_eq!(&b.output, &expect);
+        let r = radix_sort(&input, 64, &dev, &tm, false);
+        prop_assert_eq!(&r.output, &expect);
+    }
+}

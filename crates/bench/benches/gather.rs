@@ -1,0 +1,79 @@
+//! Criterion benches for the dual subsequence gather: schedule
+//! computation, full per-block simulated gathers, and the
+//! counting-overhead ablation.
+
+use cfmerge_core::gather::{gather_block, CfLayout, GatherSchedule, ThreadSplit};
+use cfmerge_gpu_sim::banks::BankModel;
+use cfmerge_gpu_sim::block::BlockSim;
+use cfmerge_gpu_sim::profiler::PhaseClass;
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rand::{Rng, SeedableRng};
+
+fn splits_for(u: usize, e: usize, seed: u64) -> (Vec<ThreadSplit>, usize) {
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    let mut splits = Vec::with_capacity(u);
+    let mut a = 0;
+    for _ in 0..u {
+        let len = rng.gen_range(0..=e);
+        splits.push(ThreadSplit { a_begin: a, a_len: len });
+        a += len;
+    }
+    (splits, a)
+}
+
+fn bench_schedule(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gather/schedule");
+    for &(w, e, u) in &[(32usize, 15usize, 512usize), (32, 17, 256), (32, 16, 256)] {
+        let (splits, a_total) = splits_for(u, e, 1);
+        let layout = CfLayout::new(w, e, u * e, a_total);
+        g.throughput(Throughput::Elements((u * e) as u64));
+        g.bench_function(format!("w{w}_e{e}_u{u}"), |b| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for (tid, &split) in splits.iter().enumerate() {
+                    let sched = GatherSchedule::new(layout, tid, split);
+                    for j in 0..e {
+                        acc = acc.wrapping_add(sched.round(j).slot());
+                    }
+                }
+                black_box(acc)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_block_gather(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gather/block_sim");
+    for counting in [true, false] {
+        let (w, e, u) = (32usize, 15usize, 512usize);
+        let (splits, a_total) = splits_for(u, e, 2);
+        let layout = CfLayout::new(w, e, u * e, a_total);
+        g.throughput(Throughput::Elements((u * e) as u64));
+        g.bench_function(format!("e15_u512_counting_{counting}"), |b| {
+            b.iter(|| {
+                let mut block = BlockSim::<u32>::new(BankModel::new(w as u32), u, u * e);
+                block.set_counting(counting);
+                block.phase(PhaseClass::LoadTile, |tid, lane| {
+                    for r in 0..e {
+                        lane.st(r * u + tid, (r * u + tid) as u32);
+                    }
+                });
+                let items = gather_block(&mut block, &layout, &splits);
+                black_box(items.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short measurement windows: one shared core runs the whole suite.
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_schedule, bench_block_gather
+}
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Criterion benches for the merge-path substrate: diagonal searches,
+//! partitioning, serial merges, and the CPU mergesorts.
+
+use cfmerge_mergepath::cpu::{merge_sort_par, merge_sort_seq};
+use cfmerge_mergepath::diagonal::merge_path;
+use cfmerge_mergepath::partition::partition_merge;
+use cfmerge_mergepath::serial::serial_merge_into;
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rand::{Rng, SeedableRng};
+
+fn sorted(n: usize, seed: u64) -> Vec<u32> {
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    let mut v: Vec<u32> = (0..n).map(|_| rng.gen()).collect();
+    v.sort_unstable();
+    v
+}
+
+fn bench_search(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mergepath/search");
+    for n in [1usize << 10, 1 << 16, 1 << 20] {
+        let a = sorted(n, 1);
+        let b = sorted(n, 2);
+        g.bench_function(format!("diag_n{n}"), |bch| {
+            let mut diag = 1usize;
+            bch.iter(|| {
+                diag = (diag * 7 + 13) % (2 * n);
+                black_box(merge_path(&a, &b, diag))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_partition(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mergepath/partition");
+    let n = 1 << 18;
+    let a = sorted(n, 3);
+    let b = sorted(n, 4);
+    for chunk in [480usize, 7680] {
+        g.throughput(Throughput::Elements(2 * n as u64));
+        g.bench_function(format!("chunk{chunk}"), |bch| {
+            bch.iter(|| black_box(partition_merge(&a, &b, chunk).len()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_serial_merge(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mergepath/serial_merge");
+    for n in [480usize, 1 << 14] {
+        let a = sorted(n / 2, 5);
+        let b = sorted(n - n / 2, 6);
+        let mut out = vec![0u32; n];
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_function(format!("n{n}"), |bch| {
+            bch.iter(|| {
+                serial_merge_into(&a, &b, &mut out);
+                black_box(out[n / 2])
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_cpu_sorts(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mergepath/cpu_sort");
+    g.sample_size(10);
+    let n = 1 << 18;
+    let base: Vec<u32> = {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+        (0..n).map(|_| rng.gen()).collect()
+    };
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("seq", |bch| {
+        bch.iter(|| {
+            let mut v = base.clone();
+            merge_sort_seq(&mut v);
+            black_box(v[0])
+        })
+    });
+    g.bench_function("par_mergepath", |bch| {
+        bch.iter(|| {
+            let mut v = base.clone();
+            merge_sort_par(&mut v, 4096);
+            black_box(v[0])
+        })
+    });
+    g.bench_function("std_unstable", |bch| {
+        bch.iter(|| {
+            let mut v = base.clone();
+            v.sort_unstable();
+            black_box(v[0])
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short measurement windows: one shared core runs the whole suite.
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_search, bench_partition, bench_serial_merge, bench_cpu_sorts
+}
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! End-to-end pipeline benches: host-side simulation speed (simulated
+//! elements per wall-clock second) for both pipelines, with and without
+//! access accounting, plus the per-block kernels.
+
+use cfmerge_core::inputs::InputSpec;
+use cfmerge_core::params::SortParams;
+use cfmerge_core::sort::{simulate_sort, SortAlgorithm, SortConfig};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_simulate_sort(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pipelines/simulate_sort");
+    g.sample_size(10);
+    let params = SortParams::e15_u512();
+    let n = 8 * params.tile();
+    let input = InputSpec::UniformRandom { seed: 1 }.generate(n);
+    g.throughput(Throughput::Elements(n as u64));
+    for algo in [SortAlgorithm::ThrustMergesort, SortAlgorithm::CfMerge] {
+        for counting in [true, false] {
+            let mut cfg = SortConfig::with_params(params);
+            cfg.count_accesses = counting;
+            g.bench_function(format!("{}_counting_{counting}", algo.label()), |b| {
+                b.iter(|| black_box(simulate_sort(&input, algo, &cfg).simulated_seconds))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_blocksort_kernel(c: &mut Criterion) {
+    use cfmerge_core::sort::blocksort::{blocksort_block, MergeStrategy};
+    use cfmerge_gpu_sim::banks::BankModel;
+    let mut g = c.benchmark_group("pipelines/blocksort_block");
+    let (u, e) = (512usize, 15usize);
+    let tile = u * e;
+    let src = InputSpec::UniformRandom { seed: 2 }.generate(tile);
+    let mut dst = vec![0u32; tile];
+    g.throughput(Throughput::Elements(tile as u64));
+    for (strategy, label) in
+        [(MergeStrategy::DirectSerial, "direct"), (MergeStrategy::Gather, "gather")]
+    {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let p = blocksort_block(
+                    BankModel::new(32),
+                    u,
+                    e,
+                    strategy,
+                    &src,
+                    &mut dst,
+                    0,
+                    true,
+                );
+                black_box(p.total().shared_transactions())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short measurement windows: one shared core runs the whole suite.
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_simulate_sort, bench_blocksort_kernel
+}
+criterion_main!(benches);

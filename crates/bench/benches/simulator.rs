@@ -1,0 +1,65 @@
+//! Simulator-engine micro-benches: the conflict-cost inner loop, phase
+//! dispatch overhead, and global coalescing accounting.
+
+use cfmerge_gpu_sim::banks::BankModel;
+use cfmerge_gpu_sim::block::BlockSim;
+use cfmerge_gpu_sim::global::sectors_touched;
+use cfmerge_gpu_sim::profiler::PhaseClass;
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rand::{Rng, SeedableRng};
+
+fn bench_round_cost(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator/round_cost");
+    let banks = BankModel::nvidia();
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(1);
+    let patterns: Vec<(&str, Vec<u32>)> = vec![
+        ("unit_stride", (0..32).collect()),
+        ("broadcast", vec![7; 32]),
+        ("random", (0..32).map(|_| rng.gen_range(0..4096)).collect()),
+        ("same_bank", (0..32).map(|i| i * 32).collect()),
+    ];
+    for (label, addrs) in patterns {
+        g.throughput(Throughput::Elements(32));
+        g.bench_function(label, |b| b.iter(|| black_box(banks.round_cost(&addrs).transactions)));
+    }
+    g.finish();
+}
+
+fn bench_phase_dispatch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator/phase");
+    let rounds = 16usize;
+    g.throughput(Throughput::Elements((512 * rounds) as u64));
+    g.bench_function("512_threads_16_rounds", |b| {
+        b.iter(|| {
+            let mut block = BlockSim::<u32>::new(BankModel::nvidia(), 512, 512 * rounds);
+            block.phase(PhaseClass::Other, |tid, lane| {
+                for r in 0..rounds {
+                    lane.st(r * 512 + tid, tid as u32);
+                }
+            });
+            black_box(block.profile.total().shared_st_transactions)
+        })
+    });
+    g.finish();
+}
+
+fn bench_sectors(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator/sectors");
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(2);
+    let coalesced: Vec<u64> = (0..32).collect();
+    let scattered: Vec<u64> = (0..32).map(|_| rng.gen_range(0..1 << 20)).collect();
+    g.bench_function("coalesced", |b| b.iter(|| black_box(sectors_touched(&coalesced))));
+    g.bench_function("scattered", |b| b.iter(|| black_box(sectors_touched(&scattered))));
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Short measurement windows: one shared core runs the whole suite.
+    config = Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_round_cost, bench_phase_dispatch, bench_sectors
+}
+criterion_main!(benches);

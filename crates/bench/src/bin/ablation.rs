@@ -1,0 +1,118 @@
+//! Design ablations (DESIGN.md §4): what each ingredient of the gather
+//! buys, measured as bank conflicts per warp per `E`-round pass.
+//!
+//! * **naive** — no permutation at all: thread `i` scans `Aᵢ` then `Bᵢ`
+//!   sequentially in the natural layout (what a PRAM port would do).
+//! * **stagger** — the staggered round schedule but *without* reversing
+//!   `B` (Figure 7): counts the extra rounds lost to 2-element stalls.
+//! * **π only** — reversal without the circular shift `ρ`: exact CF for
+//!   coprime `E`, residual conflicts otherwise.
+//! * **π + ρ** — the full construction: zero everywhere.
+//!
+//! Plus the register-merge network ablation: compare-exchange counts for
+//! odd-even transposition (the paper's choice), Batcher, and the bitonic
+//! merger.
+
+use cfmerge_core::gather::{CfLayout, GatherSchedule, ThreadSplit};
+use cfmerge_core::metrics::format_table;
+use cfmerge_gpu_sim::banks::BankModel;
+use cfmerge_mergepath::networks::{bitonic_merge_ops, oets_ops};
+use rand::{Rng, SeedableRng};
+
+fn random_splits(rng: &mut rand::rngs::SmallRng, t: usize, e: usize) -> (Vec<ThreadSplit>, usize) {
+    let mut splits = Vec::with_capacity(t);
+    let mut a = 0usize;
+    for _ in 0..t {
+        let len = rng.gen_range(0..=e);
+        splits.push(ThreadSplit { a_begin: a, a_len: len });
+        a += len;
+    }
+    (splits, a)
+}
+
+/// Conflicts per warp of a given per-round address function over E rounds.
+fn measure<F: Fn(usize, usize) -> usize>(w: usize, e: usize, warps: usize, addr: F) -> f64 {
+    let banks = BankModel::new(w as u32);
+    let mut conflicts = 0u64;
+    for v in 0..warps {
+        for j in 0..e {
+            let addrs: Vec<u32> =
+                (0..w).map(|lane| addr(v * w + lane, j) as u32).collect();
+            conflicts += u64::from(banks.round_cost(&addrs).conflicts);
+        }
+    }
+    conflicts as f64 / warps as f64
+}
+
+fn main() {
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(0xAB1A);
+    let mut rows = Vec::new();
+    let warps = 4usize;
+    for &(w, e) in &[(32usize, 15usize), (32, 17), (32, 16), (32, 24), (9, 6), (8, 6), (12, 5)] {
+        let u = w * warps;
+        let (splits, a_total) = random_splits(&mut rng, u, e);
+        let full = CfLayout::new(w, e, u * e, a_total);
+        let rev_only = CfLayout::reversal_only(w, e, u * e, a_total);
+
+        // naive: sequential scan of own pair, natural layout.
+        let naive = measure(w, e, warps, |tid, j| {
+            let sp = splits[tid];
+            let b_begin = tid * e - sp.a_begin;
+            if j < sp.a_len {
+                sp.a_begin + j
+            } else {
+                a_total + b_begin + (j - sp.a_len)
+            }
+        });
+        // π only.
+        let pi_only = measure(w, e, warps, |tid, j| {
+            GatherSchedule::new(rev_only, tid, splits[tid]).round(j).slot()
+        });
+        // π + ρ (the real thing).
+        let pi_rho = measure(w, e, warps, |tid, j| {
+            GatherSchedule::new(full, tid, splits[tid]).round(j).slot()
+        });
+
+        rows.push(vec![
+            w.to_string(),
+            e.to_string(),
+            cfmerge_numtheory::gcd(w as u64, e as u64).to_string(),
+            format!("{naive:.1}"),
+            format!("{pi_only:.1}"),
+            format!("{pi_rho:.1}"),
+        ]);
+    }
+    println!("=== Gather ablation: bank conflicts per warp per E-round pass ===\n");
+    println!(
+        "{}",
+        format_table(&["w", "E", "d", "naive", "π only", "π + ρ"], &rows)
+    );
+
+    // Register-merge network ablation.
+    let mut rows = Vec::new();
+    for e in [15usize, 16, 17, 31, 32] {
+        let serial = (e - 1) as u64; // comparisons of a two-finger merge
+        let oets = oets_ops(e);
+        let bitonic = if e.is_power_of_two() {
+            bitonic_merge_ops(e).to_string()
+        } else {
+            "-".into()
+        };
+        rows.push(vec![
+            e.to_string(),
+            serial.to_string(),
+            oets.to_string(),
+            bitonic,
+        ]);
+    }
+    println!("\n=== Register-merge ablation: compare(-exchange) counts per thread ===\n");
+    println!(
+        "{}",
+        format_table(&["E", "serial merge (branchy)", "OETS (paper)", "bitonic (pow2 only)"], &rows)
+    );
+    println!(
+        "OETS costs O(E²) compare-exchanges but needs only static register indexing —\n\
+         dynamic indexing would spill to local memory, which is why the serial count\n\
+         is not achievable in registers (Section 5 of the paper)."
+    );
+}

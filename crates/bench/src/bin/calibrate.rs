@@ -1,0 +1,32 @@
+//! Timing-model calibration harness: prints the anchor ratios from
+//! DESIGN.md §5 for the current `TimingModel::rtx2080ti_like` constants.
+
+use cfmerge_core::inputs::InputSpec;
+use cfmerge_core::params::SortParams;
+use cfmerge_core::sort::{simulate_sort, SortAlgorithm, SortConfig};
+
+fn main() {
+    for (e, u) in [(15usize, 512usize), (17, 256)] {
+        let cfg = SortConfig::with_params(SortParams::new(e, u));
+        let n = 64 * e * u;
+        let worst = InputSpec::WorstCase { w: 32, e, u }.generate(n);
+        let random = InputSpec::UniformRandom { seed: 1 }.generate(n);
+        let tw = simulate_sort(&worst, SortAlgorithm::ThrustMergesort, &cfg);
+        let tr = simulate_sort(&random, SortAlgorithm::ThrustMergesort, &cfg);
+        let cw = simulate_sort(&worst, SortAlgorithm::CfMerge, &cfg);
+        let cr = simulate_sort(&random, SortAlgorithm::CfMerge, &cfg);
+        println!("E={e} u={u} n={n}");
+        println!("  thrust-random : {:8.1} elem/us", tr.throughput());
+        println!("  thrust-worst  : {:8.1} elem/us  slowdown {:.3}", tw.throughput(), tr.throughput() / tw.throughput());
+        println!("  cf-random     : {:8.1} elem/us  vs thrust-random {:.3}", cr.throughput(), tr.throughput() / cr.throughput());
+        println!("  cf-worst      : {:8.1} elem/us  cf speedup on worst {:.3}", cw.throughput(), cw.throughput() / tw.throughput());
+        for k in &tr.kernels[..2.min(tr.kernels.len())] {
+            println!("  [rand {}] dominant={} global={:.2e} shared={:.2e} lat={:.2e} alu={:.2e}",
+                k.name, k.time.dominant(), k.time.global_s, k.time.shared_s, k.time.latency_s, k.time.alu_s);
+        }
+        for k in &tw.kernels[..2.min(tw.kernels.len())] {
+            println!("  [worst {}] dominant={} global={:.2e} shared={:.2e} lat={:.2e} alu={:.2e}",
+                k.name, k.time.dominant(), k.time.global_s, k.time.shared_s, k.time.latency_s, k.time.alu_s);
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Figure 6: throughput of Thrust vs CF-Merge on *both* worst-case and
+//! uniform-random inputs — one panel per software parameter set.
+//!
+//! The headline claims this reproduces: (i) CF ≈ Thrust on random inputs
+//! (the gather's overhead is ~2–3 extra shared accesses per element);
+//! (ii) Thrust drops sharply on worst-case inputs while CF is input-
+//! independent.
+
+use cfmerge_bench::sweep::{default_exponents, full_exponents, full_flag, run_series, series_table};
+use cfmerge_core::inputs::InputSpec;
+use cfmerge_core::params::SortParams;
+use cfmerge_core::sort::SortAlgorithm;
+
+fn main() {
+    let full = full_flag();
+    for params in [SortParams::e15_u512(), SortParams::e17_u256()] {
+        let exps = if full { full_exponents(params.u) } else { default_exponents(params.u) };
+        let worst = InputSpec::worst_case(params);
+        let random = InputSpec::UniformRandom { seed: 0xF16 };
+        eprintln!("running E={}, u={} (i = {:?}) …", params.e, params.u, exps);
+        let series = vec![
+            run_series(params, SortAlgorithm::ThrustMergesort, worst, exps.clone()),
+            run_series(params, SortAlgorithm::ThrustMergesort, random, exps.clone()),
+            run_series(params, SortAlgorithm::CfMerge, worst, exps.clone()),
+            run_series(params, SortAlgorithm::CfMerge, random, exps),
+        ];
+        println!(
+            "\n=== Figure 6 panel: E = {}, u = {} (worst-case and random inputs) ===",
+            params.e, params.u
+        );
+        println!("{}", series_table(&series));
+
+        // The two CF curves must coincide (input independence), and the
+        // CF curves must track thrust/random.
+        let last = series[0].points.len() - 1;
+        let t_rand = series[1].points[last].throughput;
+        let cf_worst = series[2].points[last].throughput;
+        let cf_rand = series[3].points[last].throughput;
+        println!(
+            "at the largest n: cf-worst/cf-random = {:.3} (input independence), \
+             cf-random/thrust-random = {:.3} (parity on random)",
+            cf_worst / cf_rand,
+            cf_rand / t_rand
+        );
+    }
+}

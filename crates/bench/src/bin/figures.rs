@@ -1,0 +1,42 @@
+//! Regenerates the paper's illustrative figures (1, 2, 3, 4, 7, 8) as
+//! ASCII, from the implementation's actual index math.
+//!
+//! Usage: `cargo run -p cfmerge-bench --bin figures [-- fig1 fig2 …]`
+//! (no argument = all figures).
+
+use cfmerge_bench::render;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
+
+    if want("fig1") {
+        println!("=== Figure 1: strided accesses, w = 12 ===");
+        println!("{}", render::figure1(12, &[5, 6]));
+    }
+    if want("fig2") {
+        println!("=== Figure 2: CF gather rounds, w = 12, E = 5, d = 1 ===");
+        let (s, tx) = render::gather_figure(12, 5, 12, 2);
+        println!("{s}max transactions in any round: {tx} (1 = conflict-free)\n");
+    }
+    if want("fig3") {
+        println!("=== Figure 3: CF gather rounds, w = 9, E = 6, d = 3 ===");
+        let (s, tx) = render::gather_figure(9, 6, 9, 3);
+        println!("{s}max transactions in any round: {tx} (1 = conflict-free)\n");
+    }
+    if want("fig4") {
+        println!("=== Figure 4: worst-case inputs, w = 12, E ∈ {{5, 9}} ===");
+        println!("{}", render::figure4(12, 5));
+        println!("{}", render::figure4(12, 9));
+    }
+    if want("fig7") {
+        println!("=== Figure 7: read stalls without reversing B, w = 12, E = 5 ===");
+        let (s, _) = render::figure7(12, 5, 7);
+        println!("{s}");
+    }
+    if want("fig8") {
+        println!("=== Figure 8: thread-block gather, u = 18, w = 6, E = 4, d = 2 ===");
+        let (s, tx) = render::gather_figure(6, 4, 18, 8);
+        println!("{s}max transactions in any round: {tx} (1 = conflict-free)\n");
+    }
+}

@@ -1,0 +1,42 @@
+//! The occupancy discussion of Section 5: `E = 15, u = 512` achieves
+//! 100% theoretical occupancy on the RTX 2080 Ti while Thrust's default
+//! `E = 17, u = 256` reaches 75% (shared-memory-limited). Printed for a
+//! grid of candidate parameters.
+
+use cfmerge_core::metrics::format_table;
+use cfmerge_core::params::SortParams;
+use cfmerge_gpu_sim::device::Device;
+use cfmerge_gpu_sim::occupancy::{mergesort_regs_estimate, occupancy, BlockResources};
+
+fn main() {
+    let dev = Device::rtx2080ti();
+    let mut rows = Vec::new();
+    for &u in &[128usize, 256, 512, 1024] {
+        for &e in &[11usize, 13, 15, 17, 19, 21] {
+            let params = SortParams::new(e, u);
+            let res = BlockResources {
+                threads: u as u32,
+                shared_bytes: params.shared_bytes(),
+                regs_per_thread: mergesort_regs_estimate(e as u32),
+            };
+            let occ = occupancy(&dev, &res);
+            rows.push(vec![
+                e.to_string(),
+                u.to_string(),
+                format!("{} B", params.shared_bytes()),
+                occ.blocks_per_sm.to_string(),
+                occ.warps_per_sm.to_string(),
+                format!("{:.0}%", occ.fraction * 100.0),
+                format!("{:?}", occ.limiter),
+            ]);
+        }
+    }
+    println!("=== Theoretical occupancy on {} ===\n", dev.name);
+    println!(
+        "{}",
+        format_table(
+            &["E", "u", "smem/block", "blocks/SM", "warps/SM", "occupancy", "limiter"],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,59 @@
+//! The Section 5.1 headline numbers in one table: CF-Merge's speedup on
+//! worst-case inputs (average / mean / max over the sweep) per parameter
+//! set, CF-vs-Thrust parity on random inputs, and the zero-conflict
+//! `nvprof` check.
+
+use cfmerge_bench::report::speedup_summary;
+use cfmerge_bench::sweep::{default_exponents, full_exponents, full_flag, run_series};
+use cfmerge_core::inputs::InputSpec;
+use cfmerge_core::metrics::format_table;
+use cfmerge_core::params::SortParams;
+use cfmerge_core::sort::SortAlgorithm;
+
+fn main() {
+    let full = full_flag();
+    let mut rows = Vec::new();
+    for params in [SortParams::e15_u512(), SortParams::e17_u256()] {
+        let exps = if full { full_exponents(params.u) } else { default_exponents(params.u) };
+        eprintln!("running E={}, u={} …", params.e, params.u);
+        let worst = InputSpec::worst_case(params);
+        let random = InputSpec::UniformRandom { seed: 0x5eed };
+
+        let tw = run_series(params, SortAlgorithm::ThrustMergesort, worst, exps.clone());
+        let cw = run_series(params, SortAlgorithm::CfMerge, worst, exps.clone());
+        let tr = run_series(params, SortAlgorithm::ThrustMergesort, random, exps.clone());
+        let cr = run_series(params, SortAlgorithm::CfMerge, random, exps);
+
+        let sw = speedup_summary(
+            &tw.points.iter().map(|p| p.seconds).collect::<Vec<_>>(),
+            &cw.points.iter().map(|p| p.seconds).collect::<Vec<_>>(),
+        );
+        let sr = speedup_summary(
+            &tr.points.iter().map(|p| p.seconds).collect::<Vec<_>>(),
+            &cr.points.iter().map(|p| p.seconds).collect::<Vec<_>>(),
+        );
+        let cf_conflicts: u64 = cw.points.iter().chain(&cr.points).map(|p| p.merge_conflicts).sum();
+        rows.push(vec![
+            format!("E={},u={}", params.e, params.u),
+            format!("{:.2}/{:.2}/{:.2}", sw.average, sw.mean, sw.max),
+            if params.e == 15 { "1.37/1.45/1.47".into() } else { "1.17/1.23/1.25".into() },
+            format!("{:.3}", sr.mean),
+            cf_conflicts.to_string(),
+        ]);
+    }
+    println!("\n=== Section 5.1 summary ===\n");
+    println!(
+        "{}",
+        format_table(
+            &[
+                "params",
+                "CF speedup worst (avg/mean/max)",
+                "paper",
+                "CF speedup random (mean)",
+                "CF merge conflicts"
+            ],
+            &rows
+        )
+    );
+    println!("(random-input speedup ≈ 1.0 = the paper's \"virtually the same time\";\n CF merge conflicts must be 0 — the nvprof check.)");
+}

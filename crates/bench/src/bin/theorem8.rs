@@ -1,0 +1,48 @@
+//! Theorem 8 validation table: predicted vs lock-step-measured worst-case
+//! bank conflicts per warp, over a grid of `(w, E)` covering coprime and
+//! non-coprime cases, `q = 1` and `q > 1`, including the paper's figure
+//! parameters and the headline `w = 32` column.
+
+use cfmerge_core::metrics::format_table;
+use cfmerge_core::worst_case::{lockstep_baseline_conflicts, predicted_warp_conflicts};
+use cfmerge_numtheory::gcd;
+
+fn main() {
+    let mut rows = Vec::new();
+    let mut cases: Vec<(usize, usize)> = Vec::new();
+    for e in [2usize, 4, 5, 8, 12, 14, 15, 16, 17, 20, 24, 28, 31, 32] {
+        cases.push((32, e));
+    }
+    for &(w, e) in &[(12usize, 5usize), (12, 9), (9, 6), (16, 12), (24, 18), (8, 6)] {
+        cases.push((w, e));
+    }
+    let warps = 4;
+    for (w, e) in cases {
+        let d = gcd(w as u64, e as u64);
+        let predicted = predicted_warp_conflicts(w, e);
+        let measured = lockstep_baseline_conflicts(w, e, warps) as f64 / warps as f64;
+        rows.push(vec![
+            w.to_string(),
+            e.to_string(),
+            d.to_string(),
+            (w / e).to_string(),
+            (w % e).to_string(),
+            predicted.to_string(),
+            format!("{measured:.0}"),
+            format!("{:.3}", measured / predicted as f64),
+        ]);
+    }
+    println!("=== Theorem 8: worst-case bank conflicts per warp ===");
+    println!(
+        "{}",
+        format_table(
+            &["w", "E", "d", "q", "r", "predicted", "measured", "ratio"],
+            &rows
+        )
+    );
+    println!(
+        "(predicted counts E per aligned column scan; the lock-step measurement counts\n\
+         transactions−1 per round, so ratios slightly below 1 are expected — see\n\
+         EXPERIMENTS.md.)"
+    );
+}

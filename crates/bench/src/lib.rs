@@ -1,0 +1,28 @@
+//! # cfmerge-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper (see DESIGN.md §3 for the
+//! index), built on three shared pieces:
+//!
+//! * [`sweep`] — throughput sweeps over `n = 2^i·E` for
+//!   (algorithm × input × parameter set), the data behind Figures 5–6.
+//! * [`render`] — ASCII renderings of the paper's access-pattern figures
+//!   (1, 2, 3, 4, 7, 8), generated from the actual index math rather than
+//!   drawn by hand.
+//! * [`report`] — table formatting re-exports.
+//!
+//! Binaries: `fig5`, `fig6`, `figures` (1/2/3/4/7/8), `theorem8`,
+//! `random_conflicts`, `noncoprime_penalty`, `occupancy_table`,
+//! `speedup_summary`, `ablation`, `sort_landscape`, `scan_table`,
+//! `calibrate`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod render;
+pub mod sweep;
+
+/// Table-formatting helpers (re-exported from the core crate so binaries
+/// have one import).
+pub mod report {
+    pub use cfmerge_core::metrics::{format_table, speedup_summary, SpeedupSummary};
+}

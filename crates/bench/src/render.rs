@@ -1,0 +1,277 @@
+//! ASCII renderings of the paper's access-pattern figures, generated
+//! from the actual index math (not hand-drawn), so each figure doubles as
+//! a check of the implementation.
+//!
+//! Shared memory is drawn as the paper draws it: a matrix with `w` rows
+//! (one per bank) in column-major order — the element at address `a`
+//! sits in row `a mod w`, column `a / w`.
+
+use cfmerge_core::gather::layout::CfLayout;
+use cfmerge_core::gather::schedule::{GatherSchedule, ThreadSplit};
+use cfmerge_core::worst_case::WorstCaseBuilder;
+use cfmerge_gpu_sim::banks::BankModel;
+use cfmerge_mergepath::serial::{serial_merge_traced, Took};
+use rand::{Rng, SeedableRng};
+
+/// Figure 1: strided accesses in shared memory with `w = 12` — stride 5
+/// (coprime, conflict-free) vs stride 6 (6-way conflicts).
+#[must_use]
+pub fn figure1(w: usize, strides: &[usize]) -> String {
+    let banks = BankModel::new(w as u32);
+    let mut out = String::new();
+    for &s in strides {
+        let cols = s; // the paper draws exactly the touched columns
+        let accessed: Vec<usize> = (0..w).map(|k| k * s).collect();
+        out.push_str(&format!(
+            "stride {s} (gcd(w,{s}) = {}):\n",
+            cfmerge_numtheory::gcd(w as u64, s as u64)
+        ));
+        for row in 0..w {
+            out.push_str(&format!("{row:3}: "));
+            for col in 0..cols {
+                let addr = col * w + row;
+                let hit = accessed.iter().any(|&a| a % (w * cols) == addr);
+                out.push_str(&format!("{:>4}{} ", addr, if hit { "*" } else { " " }));
+            }
+            out.push('\n');
+        }
+        let cost = banks.round_cost(&accessed.iter().map(|&a| a as u32).collect::<Vec<_>>());
+        out.push_str(&format!(
+            "  → {} transaction(s), {} bank conflict(s)\n\n",
+            cost.transactions, cost.conflicts
+        ));
+    }
+    out
+}
+
+/// Deterministic "arbitrary input" splits for a block of `t` threads
+/// (mirrors the papers' arbitrary examples).
+#[must_use]
+pub fn example_splits(t: usize, e: usize, seed: u64) -> (Vec<ThreadSplit>, usize) {
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    let mut splits = Vec::with_capacity(t);
+    let mut a = 0usize;
+    for _ in 0..t {
+        let len = rng.gen_range(0..=e);
+        splits.push(ThreadSplit { a_begin: a, a_len: len });
+        a += len;
+    }
+    (splits, a)
+}
+
+/// Figures 2, 3 and 8: the CF gather's round-by-round accesses for a
+/// block of `u` threads (one warp for Figures 2–3). Each cell shows the
+/// thread ID that reads that shared-memory word; below the grid, every
+/// round is listed with its transaction count (all must be 1).
+///
+/// Returns `(rendering, max_transactions_per_round)`.
+#[must_use]
+pub fn gather_figure(w: usize, e: usize, u: usize, seed: u64) -> (String, u32) {
+    let (splits, a_total) = example_splits(u, e, seed);
+    let layout = CfLayout::new(w, e, u * e, a_total);
+    let banks = BankModel::new(w as u32);
+    let total = u * e;
+    let cols = total / w;
+
+    // reader[slot] = thread id, round[slot] = gather round.
+    let mut reader = vec![usize::MAX; total];
+    let mut round_of = vec![usize::MAX; total];
+    for (tid, &sp) in splits.iter().enumerate() {
+        let sched = GatherSchedule::new(layout, tid, sp);
+        for j in 0..e {
+            let slot = sched.round(j).slot();
+            reader[slot] = tid;
+            round_of[slot] = j;
+        }
+    }
+
+    let d = cfmerge_numtheory::gcd(w as u64, e as u64);
+    let mut out = format!(
+        "CF gather: w={w}, E={e}, u={u}, d={d}  (|A|={a_total}, |B|={})\n",
+        total - a_total
+    );
+    out.push_str("cells: thread id that reads the word (bank = row, column-major)\n");
+    for row in 0..w {
+        out.push_str(&format!("{row:3}: "));
+        for col in 0..cols {
+            let slot = col * w + row;
+            out.push_str(&format!("{:>3} ", reader[slot]));
+        }
+        out.push('\n');
+    }
+    let mut max_tx = 0u32;
+    out.push_str("rounds: ");
+    for j in 0..e {
+        let mut addrs = Vec::new();
+        // Per-warp transactions for round j.
+        let mut worst_round = 0u32;
+        for v in 0..u / w {
+            addrs.clear();
+            for lane in 0..w {
+                let tid = v * w + lane;
+                let sched = GatherSchedule::new(layout, tid, splits[tid]);
+                addrs.push(sched.round(j).slot() as u32);
+            }
+            worst_round = worst_round.max(banks.round_cost(&addrs).transactions);
+        }
+        max_tx = max_tx.max(worst_round);
+        out.push_str(&format!("j={j}:{worst_round}tx "));
+    }
+    out.push('\n');
+    (out, max_tx)
+}
+
+/// Figure 7: the read-stall picture — scanning *both* lists in ascending
+/// order (staggering without the `π` reversal) forces some threads to
+/// need two elements in the same round. Returns `(rendering,
+/// max_elements_needed_by_one_thread_in_one_round)`.
+#[must_use]
+pub fn figure7(w: usize, e: usize, seed: u64) -> (String, usize) {
+    let (splits, _) = example_splits(w, e, seed);
+    // Naive schedule: A element m in round (aᵢ + m) mod E, and B element
+    // m also ascending in round (bᵢ + m) mod E.
+    let mut out = format!("naive dual scan (no reversal): w={w}, E={e}\n");
+    let mut worst = 0usize;
+    for j in 0..e {
+        let mut stalls = 0usize;
+        for (tid, &sp) in splits.iter().enumerate() {
+            let b_begin = tid * e - sp.a_begin;
+            let b_len = e - sp.a_len;
+            let mut need = 0usize;
+            for m in 0..sp.a_len {
+                if (sp.a_begin + m) % e == j {
+                    need += 1;
+                }
+            }
+            for m in 0..b_len {
+                if (b_begin + m) % e == j {
+                    need += 1;
+                }
+            }
+            worst = worst.max(need);
+            if need > 1 {
+                stalls += 1;
+            }
+        }
+        out.push_str(&format!("round {j}: {stalls} thread(s) need 2 elements (stall)\n"));
+    }
+    out.push_str(&format!("max elements needed by one thread in one round: {worst}\n"));
+    (out, worst)
+}
+
+/// Figure 4: the worst-case input for one warp — shared memory drawn as
+/// the paper draws it (`A` columns then `B` columns), each cell labeled
+/// with the thread that consumes it during the serial merge; rows
+/// `w−E … w−1` (the bottom `E` banks, where the aligned scans sit) are
+/// marked with `|` at the row label.
+#[must_use]
+pub fn figure4(w: usize, e: usize) -> String {
+    let builder = WorstCaseBuilder::new(w, e, w);
+    let (a, b) = builder.merge_pair(2);
+    let (_, trace) = serial_merge_traced(&a, &b);
+    // consumer[list][offset] = thread id.
+    let mut a_consumer = vec![usize::MAX; a.len()];
+    let mut b_consumer = vec![usize::MAX; b.len()];
+    let (mut ai, mut bi) = (0usize, 0usize);
+    for (step, &took) in trace.iter().enumerate() {
+        let tid = step / e;
+        match took {
+            Took::A => {
+                a_consumer[ai] = tid;
+                ai += 1;
+            }
+            Took::B => {
+                b_consumer[bi] = tid;
+                bi += 1;
+            }
+        }
+    }
+    // Render warp 0's portion only (the second warp is the mirror image).
+    let a_cols = a.len() / w;
+    let b_cols = b.len() / w;
+    let mut out = format!(
+        "worst-case input, w={w}, E={e}, d={} (warp 0 of a balanced pair):\n",
+        cfmerge_numtheory::gcd(w as u64, e as u64)
+    );
+    out.push_str("        A region");
+    out.push_str(&" ".repeat(4 * a_cols.saturating_sub(2)));
+    out.push_str("| B region\n");
+    for row in 0..w {
+        let marker = if row >= w - e { "|" } else { " " };
+        out.push_str(&format!("{marker}{row:3}: "));
+        for col in 0..a_cols {
+            let off = col * w + row;
+            out.push_str(&format!("{:>3} ", fmt_tid(a_consumer.get(off))));
+        }
+        out.push_str("| ");
+        for col in 0..b_cols {
+            let off = col * w + row;
+            out.push_str(&format!("{:>3} ", fmt_tid(b_consumer.get(off))));
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "predicted conflicts per warp (Theorem 8): {}\n",
+        cfmerge_core::worst_case::predicted_warp_conflicts(w, e)
+    ));
+    out.push_str(&format!(
+        "measured  conflicts per warp (lock-step): {}\n",
+        cfmerge_core::worst_case::lockstep_baseline_conflicts(w, e, 2) / 2
+    ));
+    out
+}
+
+fn fmt_tid(t: Option<&usize>) -> String {
+    match t {
+        Some(&x) if x != usize::MAX => x.to_string(),
+        _ => "·".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_shows_both_regimes() {
+        let s = figure1(12, &[5, 6]);
+        assert!(s.contains("1 transaction(s), 0 bank conflict(s)"));
+        assert!(s.contains("6 transaction(s), 5 bank conflict(s)"));
+    }
+
+    #[test]
+    fn figure2_parameters_are_conflict_free() {
+        // Paper Figure 2: w=12, E=5, d=1.
+        let (_, tx) = gather_figure(12, 5, 12, 2);
+        assert_eq!(tx, 1);
+    }
+
+    #[test]
+    fn figure3_noncoprime_is_conflict_free() {
+        // Paper Figure 3: w=9, E=6, d=3.
+        let (_, tx) = gather_figure(9, 6, 9, 3);
+        assert_eq!(tx, 1);
+    }
+
+    #[test]
+    fn figure8_thread_block_is_conflict_free() {
+        // Paper Figure 8: u=18, w=6, E=4, d=2.
+        let (_, tx) = gather_figure(6, 4, 18, 8);
+        assert_eq!(tx, 1);
+    }
+
+    #[test]
+    fn figure7_shows_stalls_without_reversal() {
+        let (_, worst) = figure7(12, 5, 7);
+        assert_eq!(worst, 2, "naive scan must need up to 2 elements per round");
+    }
+
+    #[test]
+    fn figure4_renders_for_both_example_parameters() {
+        for e in [5usize, 9] {
+            let s = figure4(12, e);
+            assert!(s.contains("predicted conflicts"));
+            assert!(s.lines().count() > 12);
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! The load-balanced dual subsequence gather (Section 3) and its inverse
+//! scatter (footnote 5).
+//!
+//! Given a thread block whose shared memory holds the permuted layout
+//! `ρ(A ∪ π(B))` — `A` in natural order, `B` reversed ([`layout::CfLayout`]
+//! implements the index maps) — every thread can move its merge-path pair
+//! `(Aᵢ, Bᵢ)` into registers in exactly `E` lock-step rounds with **zero
+//! bank conflicts**, for *any* `d = gcd(w, E)`:
+//!
+//! * round `j` reads, warp-wide, precisely the logical indices congruent
+//!   to `j (mod E)` — the complete residue system `R'_j` of Corollary 3;
+//! * each thread reads exactly one element per round ([`schedule`]
+//!   derives which), because reversing `B` interleaves the ascending `A`
+//!   scan with a descending `B` scan (Section 3.1);
+//! * the circular shift `ρ` re-aligns the `d` partitions when `w` and `E`
+//!   share a divisor (Section 3.2).
+//!
+//! The register array a thread ends up with is a *rotation of an
+//! ascending-A/descending-B sequence* — bitonic — so it can be merged in
+//! registers with a data-oblivious network and no further shared-memory
+//! access.
+
+pub mod layout;
+pub mod scan;
+pub mod schedule;
+pub mod simulate;
+
+pub use layout::CfLayout;
+pub use scan::{dual_scan_block, intersect_counts, DualPair};
+pub use schedule::{GatherSchedule, RegisterSlot, ThreadSplit};
+pub use simulate::{gather_block, scatter_block};

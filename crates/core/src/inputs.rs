@@ -1,0 +1,165 @@
+//! Workload generators for the evaluation.
+//!
+//! The paper evaluates on uniform random inputs and on the constructed
+//! worst-case inputs of Section 4; we add a few standard auxiliary
+//! distributions (sorted, reversed, few-distinct, nearly-sorted) used by
+//! the extended benchmarks and property tests.
+
+use crate::params::SortParams;
+use crate::worst_case::WorstCaseBuilder;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A reproducible input distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InputSpec {
+    /// Uniform random 32-bit keys.
+    UniformRandom {
+        /// RNG seed.
+        seed: u64,
+    },
+    /// A uniformly random *permutation* of `0..n` (distinct keys).
+    RandomPermutation {
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Already sorted ascending.
+    Sorted,
+    /// Sorted descending.
+    Reversed,
+    /// Keys drawn from a small alphabet (heavy duplicates).
+    FewDistinct {
+        /// RNG seed.
+        seed: u64,
+        /// Number of distinct values.
+        distinct: u32,
+    },
+    /// Sorted, then `swaps` random transpositions.
+    NearlySorted {
+        /// RNG seed.
+        seed: u64,
+        /// Number of random transpositions applied.
+        swaps: usize,
+    },
+    /// The Section 4 worst-case construction for the given parameters and
+    /// warp width (maximizes Thrust-baseline bank conflicts in every
+    /// merge pass).
+    WorstCase {
+        /// Warp width the construction targets.
+        w: usize,
+        /// Elements per thread `E`.
+        e: usize,
+        /// Threads per block `u`.
+        u: usize,
+    },
+}
+
+impl InputSpec {
+    /// The worst-case spec for a parameter set at `w = 32`.
+    #[must_use]
+    pub fn worst_case(params: SortParams) -> Self {
+        InputSpec::WorstCase { w: 32, e: params.e, u: params.u }
+    }
+
+    /// Generate `n` keys.
+    #[must_use]
+    pub fn generate(&self, n: usize) -> Vec<u32> {
+        match *self {
+            InputSpec::UniformRandom { seed } => {
+                let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+                (0..n).map(|_| rng.gen()).collect()
+            }
+            InputSpec::RandomPermutation { seed } => {
+                let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+                let mut v: Vec<u32> = (0..n as u32).collect();
+                v.shuffle(&mut rng);
+                v
+            }
+            InputSpec::Sorted => (0..n as u32).collect(),
+            InputSpec::Reversed => (0..n as u32).rev().collect(),
+            InputSpec::FewDistinct { seed, distinct } => {
+                let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+                let d = distinct.max(1);
+                (0..n).map(|_| rng.gen_range(0..d)).collect()
+            }
+            InputSpec::NearlySorted { seed, swaps } => {
+                let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+                let mut v: Vec<u32> = (0..n as u32).collect();
+                for _ in 0..swaps {
+                    if n >= 2 {
+                        let i = rng.gen_range(0..n);
+                        let j = rng.gen_range(0..n);
+                        v.swap(i, j);
+                    }
+                }
+                v
+            }
+            InputSpec::WorstCase { w, e, u } => WorstCaseBuilder::new(w, e, u).build(n),
+        }
+    }
+
+    /// Short label for report tables.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match *self {
+            InputSpec::UniformRandom { .. } => "random".into(),
+            InputSpec::RandomPermutation { .. } => "random-perm".into(),
+            InputSpec::Sorted => "sorted".into(),
+            InputSpec::Reversed => "reversed".into(),
+            InputSpec::FewDistinct { distinct, .. } => format!("few-distinct({distinct})"),
+            InputSpec::NearlySorted { swaps, .. } => format!("nearly-sorted({swaps})"),
+            InputSpec::WorstCase { e, .. } => format!("worst-case(E={e})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_produce_requested_length() {
+        let n = 1000;
+        for spec in [
+            InputSpec::UniformRandom { seed: 1 },
+            InputSpec::RandomPermutation { seed: 1 },
+            InputSpec::Sorted,
+            InputSpec::Reversed,
+            InputSpec::FewDistinct { seed: 1, distinct: 4 },
+            InputSpec::NearlySorted { seed: 1, swaps: 20 },
+        ] {
+            assert_eq!(spec.generate(n).len(), n, "{}", spec.label());
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let a = InputSpec::UniformRandom { seed: 7 }.generate(100);
+        let b = InputSpec::UniformRandom { seed: 7 }.generate(100);
+        assert_eq!(a, b);
+        let c = InputSpec::UniformRandom { seed: 8 }.generate(100);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let v = InputSpec::RandomPermutation { seed: 3 }.generate(500);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..500).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn few_distinct_respects_alphabet() {
+        let v = InputSpec::FewDistinct { seed: 5, distinct: 3 }.generate(300);
+        assert!(v.iter().all(|&x| x < 3));
+    }
+
+    #[test]
+    fn sorted_and_reversed_shapes() {
+        assert!(InputSpec::Sorted.generate(50).is_sorted());
+        let r = InputSpec::Reversed.generate(50);
+        assert!(r.windows(2).all(|p| p[0] >= p[1]));
+    }
+}

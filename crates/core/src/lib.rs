@@ -1,0 +1,30 @@
+//! # cfmerge-core — CF-Merge: bank-conflict-free GPU mergesort
+//!
+//! The primary contributions of *Eliminating Bank Conflicts in GPU
+//! Mergesort* (Berney & Sitchinava, SPAA 2025), implemented against the
+//! `cfmerge-gpu-sim` simulator:
+//!
+//! * [`gather`] — the **load-balanced dual subsequence gather**
+//!   (Section 3): reads each thread's `(Aᵢ, Bᵢ)` pair from shared memory
+//!   into registers in `E` rounds with *zero* bank conflicts, for any
+//!   `d = gcd(w, E)`, plus the inverse scatter (footnote 5).
+//! * [`sort`] — two complete mergesort pipelines on the simulator: the
+//!   Thrust-style baseline (merge path + per-thread serial merge in shared
+//!   memory) and **CF-Merge** (permuted tile layout + gather + register
+//!   merge).
+//! * [`worst_case`] — the generalized worst-case input construction of
+//!   Section 4 (arbitrary `w`, `1 < E ≤ w`, any `d = gcd(w, E)`), with
+//!   Theorem 8's closed-form conflict counts.
+//! * [`inputs`] — workload generators for the evaluation.
+//! * [`params`] — software parameters `(E, u)` incl. the paper's presets.
+//! * [`metrics`] — throughput/speedup reporting helpers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gather;
+pub mod inputs;
+pub mod metrics;
+pub mod params;
+pub mod sort;
+pub mod worst_case;

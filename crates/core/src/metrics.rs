@@ -1,0 +1,147 @@
+//! Reporting helpers: throughput, speedups, and the summary statistics
+//! quoted in Section 5.1.
+
+use serde::{Deserialize, Serialize};
+
+/// Throughput in elements per microsecond — the unit of Figures 5 and 6.
+#[must_use]
+pub fn elements_per_us(n: usize, seconds: f64) -> f64 {
+    if seconds <= 0.0 {
+        return 0.0;
+    }
+    n as f64 / (seconds * 1e6)
+}
+
+/// One data point of a throughput series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThroughputPoint {
+    /// Input size.
+    pub n: usize,
+    /// Simulated runtime in seconds.
+    pub seconds: f64,
+    /// Throughput in elements/µs.
+    pub elems_per_us: f64,
+}
+
+impl ThroughputPoint {
+    /// Build a point from `n` and a runtime.
+    #[must_use]
+    pub fn new(n: usize, seconds: f64) -> Self {
+        Self { n, seconds, elems_per_us: elements_per_us(n, seconds) }
+    }
+}
+
+/// The speedup summary the paper reports for Figure 5: "average, mean, and
+/// maximum speedup" over the sweep (the paper's "average" is the ratio of
+/// summed runtimes — i.e. total-work speedup — while "mean" is the mean of
+/// per-size speedups).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpeedupSummary {
+    /// Σ baseline time / Σ improved time.
+    pub average: f64,
+    /// Mean of pointwise speedups.
+    pub mean: f64,
+    /// Largest pointwise speedup.
+    pub max: f64,
+    /// Smallest pointwise speedup.
+    pub min: f64,
+}
+
+/// Summarize baseline-vs-improved runtimes (paired by index).
+///
+/// # Panics
+/// Panics if the series lengths differ or are empty.
+#[must_use]
+pub fn speedup_summary(baseline_s: &[f64], improved_s: &[f64]) -> SpeedupSummary {
+    assert_eq!(baseline_s.len(), improved_s.len(), "paired series required");
+    assert!(!baseline_s.is_empty(), "need at least one point");
+    let total_base: f64 = baseline_s.iter().sum();
+    let total_impr: f64 = improved_s.iter().sum();
+    let ratios: Vec<f64> = baseline_s.iter().zip(improved_s).map(|(b, i)| b / i).collect();
+    SpeedupSummary {
+        average: total_base / total_impr,
+        mean: ratios.iter().sum::<f64>() / ratios.len() as f64,
+        max: ratios.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        min: ratios.iter().cloned().fold(f64::INFINITY, f64::min),
+    }
+}
+
+/// Format a simple aligned text table (the bench binaries print these;
+/// EXPERIMENTS.md embeds them).
+#[must_use]
+pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{c:>width$}", width = widths[i]));
+        }
+        line
+    };
+    let hdr: Vec<String> = headers.iter().map(|s| (*s).to_string()).collect();
+    out.push_str(&fmt_row(&hdr, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_units() {
+        // 1e6 elements in 1 ms = 1000 elements/µs.
+        assert!((elements_per_us(1_000_000, 1e-3) - 1000.0).abs() < 1e-9);
+        assert_eq!(elements_per_us(100, 0.0), 0.0);
+        let p = ThroughputPoint::new(2_000_000, 1e-3);
+        assert!((p.elems_per_us - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speedup_summary_math() {
+        let base = [2.0, 3.0, 4.0];
+        let imp = [1.0, 3.0, 2.0];
+        let s = speedup_summary(&base, &imp);
+        assert!((s.average - 9.0 / 6.0).abs() < 1e-12);
+        assert!((s.mean - (2.0 + 1.0 + 2.0) / 3.0).abs() < 1e-12);
+        assert!((s.max - 2.0).abs() < 1e-12);
+        assert!((s.min - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "paired series")]
+    fn mismatched_series_panics() {
+        let _ = speedup_summary(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn table_formatting_aligns() {
+        let t = format_table(
+            &["n", "thrust", "cf"],
+            &[
+                vec!["1024".into(), "12.5".into(), "12.4".into()],
+                vec!["2048".into(), "13.0".into(), "13.1".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("thrust"));
+        assert!(lines[2].trim_start().starts_with("1024"));
+    }
+}

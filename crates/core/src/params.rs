@@ -1,0 +1,125 @@
+//! Software parameters of the mergesort pipelines.
+//!
+//! Both pipelines are parameterized by `E` (elements per thread; the
+//! paper's `E`) and `u` (threads per block). A thread block processes a
+//! tile of `u·E` keys. Thrust ships with `E = 17, u = 256`; Berney &
+//! Sitchinava's earlier work found `E = 15, u = 512` faster on the
+//! RTX 2080 Ti thanks to 100% theoretical occupancy, and the paper
+//! evaluates both. Both values are coprime with `w = 32` — Thrust's
+//! existing heuristic against bank conflicts, which CF-Merge makes
+//! unnecessary.
+
+use cfmerge_numtheory::gcd;
+use serde::{Deserialize, Serialize};
+
+/// `(E, u)` software parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SortParams {
+    /// Elements per thread (`E`).
+    pub e: usize,
+    /// Threads per block (`u`).
+    pub u: usize,
+}
+
+impl SortParams {
+    /// New parameter set.
+    ///
+    /// # Panics
+    /// Panics if either value is zero.
+    #[must_use]
+    pub fn new(e: usize, u: usize) -> Self {
+        assert!(e > 0 && u > 0, "E and u must be positive");
+        Self { e, u }
+    }
+
+    /// The paper's preferred parameters: `E = 15, u = 512`
+    /// (100% occupancy on the RTX 2080 Ti).
+    #[must_use]
+    pub fn e15_u512() -> Self {
+        Self { e: 15, u: 512 }
+    }
+
+    /// Thrust's shipped parameters: `E = 17, u = 256`.
+    #[must_use]
+    pub fn e17_u256() -> Self {
+        Self { e: 17, u: 256 }
+    }
+
+    /// Keys per block tile (`u·E`).
+    #[must_use]
+    pub fn tile(&self) -> usize {
+        self.u * self.e
+    }
+
+    /// `d = gcd(w, E)` for a given warp width.
+    #[must_use]
+    pub fn d(&self, w: usize) -> usize {
+        gcd(w as u64, self.e as u64) as usize
+    }
+
+    /// Whether `E` is coprime with the warp width (Thrust's heuristic).
+    #[must_use]
+    pub fn coprime(&self, w: usize) -> bool {
+        self.d(w) == 1
+    }
+
+    /// Shared-memory bytes per block for 4-byte keys.
+    #[must_use]
+    pub fn shared_bytes(&self) -> u32 {
+        (self.tile() * 4) as u32
+    }
+
+    /// Validate against a warp width: `u` must be a positive multiple of
+    /// `w` so the block consists of complete warps (the paper's standing
+    /// assumption).
+    ///
+    /// # Panics
+    /// Panics if `u % w != 0` or `E > w` (the analysis range `1 < E ≤ w`
+    /// with `E = 1` allowed degenerately for tests).
+    pub fn validate(&self, w: usize) {
+        assert!(w > 0 && self.u.is_multiple_of(w), "u={} must be a multiple of w={w}", self.u);
+        assert!(self.e <= w, "E={} must be at most w={w} (paper range 1 < E ≤ w)", self.e);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper() {
+        let a = SortParams::e15_u512();
+        assert_eq!((a.e, a.u, a.tile()), (15, 512, 7680));
+        assert!(a.coprime(32));
+        let b = SortParams::e17_u256();
+        assert_eq!((b.e, b.u, b.tile()), (17, 256, 4352));
+        assert!(b.coprime(32));
+        a.validate(32);
+        b.validate(32);
+    }
+
+    #[test]
+    fn gcd_and_coprime() {
+        assert_eq!(SortParams::new(16, 512).d(32), 16);
+        assert!(!SortParams::new(16, 512).coprime(32));
+        assert_eq!(SortParams::new(6, 36).d(9), 3);
+    }
+
+    #[test]
+    fn shared_bytes_match_occupancy_discussion() {
+        assert_eq!(SortParams::e15_u512().shared_bytes(), 30720);
+        assert_eq!(SortParams::e17_u256().shared_bytes(), 17408);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of w")]
+    fn bad_u_rejected() {
+        SortParams::new(15, 100).validate(32);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most w")]
+    fn oversized_e_rejected() {
+        SortParams::new(33, 512).validate(32);
+    }
+}

@@ -1,0 +1,421 @@
+//! End-to-end pipeline driver: block sort, then `log₂(n/uE)` merge
+//! passes, with per-launch profiling and modeled timing.
+//!
+//! Inputs of any size are padded to a power-of-two number of tiles with
+//! `u32::MAX` sentinels (the paper's sweep sizes `n = 2^i·E` are already
+//! tile-aligned for its `u`; padding keeps the driver total). Blocks are
+//! independent, so each pass fans out with rayon and merges the per-block
+//! profiles.
+
+use super::blocksort::{blocksort_block, MergeStrategy};
+use super::key::SortKey;
+use super::merge_pass::{merge_pass_block, MergeChunkJob};
+use crate::params::SortParams;
+use cfmerge_gpu_sim::device::Device;
+use cfmerge_gpu_sim::occupancy::{mergesort_regs_estimate, BlockResources};
+use cfmerge_gpu_sim::profiler::{KernelProfile, PhaseClass};
+use cfmerge_gpu_sim::timing::{LaunchConfig, TimeBreakdown, TimingModel};
+use cfmerge_mergepath::diagonal::merge_path_steps;
+use cfmerge_mergepath::partition::partition_merge;
+use rayon::prelude::*;
+
+/// Which pipeline to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortAlgorithm {
+    /// The Thrust-style baseline (serial merge in shared memory).
+    ThrustMergesort,
+    /// CF-Merge (permuted layout + dual subsequence gather).
+    CfMerge,
+}
+
+impl SortAlgorithm {
+    fn strategy(self) -> MergeStrategy {
+        match self {
+            SortAlgorithm::ThrustMergesort => MergeStrategy::DirectSerial,
+            SortAlgorithm::CfMerge => MergeStrategy::Gather,
+        }
+    }
+
+    /// Label for report tables.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            SortAlgorithm::ThrustMergesort => "thrust",
+            SortAlgorithm::CfMerge => "cf-merge",
+        }
+    }
+}
+
+/// Full configuration of a simulated sort.
+#[derive(Debug, Clone)]
+pub struct SortConfig {
+    /// Software parameters `(E, u)`.
+    pub params: SortParams,
+    /// Simulated device.
+    pub device: Device,
+    /// Timing-model constants.
+    pub timing: TimingModel,
+    /// Record every shared/global access (exact conflict counts). Turn
+    /// off for correctness-only runs at very large `n`.
+    pub count_accesses: bool,
+}
+
+impl SortConfig {
+    /// The paper's preferred parameters on the RTX 2080 Ti model.
+    #[must_use]
+    pub fn paper_e15_u512() -> Self {
+        Self {
+            params: SortParams::e15_u512(),
+            device: Device::rtx2080ti(),
+            timing: TimingModel::rtx2080ti_like(),
+            count_accesses: true,
+        }
+    }
+
+    /// Thrust's shipped parameters on the RTX 2080 Ti model.
+    #[must_use]
+    pub fn paper_e17_u256() -> Self {
+        Self {
+            params: SortParams::e17_u256(),
+            device: Device::rtx2080ti(),
+            timing: TimingModel::rtx2080ti_like(),
+            count_accesses: true,
+        }
+    }
+
+    /// Same device/timing, different `(E, u)`.
+    #[must_use]
+    pub fn with_params(params: SortParams) -> Self {
+        Self {
+            params,
+            device: Device::rtx2080ti(),
+            timing: TimingModel::rtx2080ti_like(),
+            count_accesses: true,
+        }
+    }
+
+    fn launch(&self, blocks: u64) -> LaunchConfig {
+        LaunchConfig {
+            blocks,
+            resources: BlockResources {
+                threads: self.params.u as u32,
+                shared_bytes: self.params.shared_bytes(),
+                regs_per_thread: mergesort_regs_estimate(self.params.e as u32),
+            },
+        }
+    }
+}
+
+/// One priced kernel launch of the pipeline.
+#[derive(Debug, Clone)]
+pub struct KernelReport {
+    /// Kernel name (`blocksort`, `merge-pass-0`, …).
+    pub name: String,
+    /// Grid size.
+    pub blocks: u64,
+    /// Aggregated per-phase counters for the launch.
+    pub profile: KernelProfile,
+    /// Modeled time breakdown.
+    pub time: TimeBreakdown,
+}
+
+/// Result of a simulated sort.
+#[derive(Debug, Clone)]
+pub struct SortRun<K = u32> {
+    /// The sorted keys (length = input length).
+    pub output: Vec<K>,
+    /// Aggregated profile over all launches.
+    pub profile: KernelProfile,
+    /// Total modeled runtime in seconds.
+    pub simulated_seconds: f64,
+    /// Per-launch detail.
+    pub kernels: Vec<KernelReport>,
+    /// Input size.
+    pub n: usize,
+}
+
+impl<K> SortRun<K> {
+    /// Throughput in elements/µs — the y-axis of Figures 5 and 6.
+    #[must_use]
+    pub fn throughput(&self) -> f64 {
+        crate::metrics::elements_per_us(self.n, self.simulated_seconds)
+    }
+
+    /// Mean bank conflicts per merge/gather round — the Karsin et al.
+    /// statistic.
+    #[must_use]
+    pub fn conflicts_per_merge_round(&self) -> f64 {
+        self.profile.merge_degree_hist.mean_conflicts_per_round()
+    }
+}
+
+/// Sort `input` on the simulated GPU with the chosen pipeline.
+///
+/// # Panics
+/// Panics if the configuration is invalid for the device (`u` not a
+/// power-of-two multiple of `w`, `E > w`).
+#[must_use]
+pub fn simulate_sort(input: &[u32], algo: SortAlgorithm, config: &SortConfig) -> SortRun {
+    simulate_sort_keys::<u32>(input, algo, config)
+}
+
+/// Generic-key variant of [`simulate_sort`]: sort any [`SortKey`] type
+/// (`u64` keys back the stable sort-by-key API in [`super::pairs`]).
+///
+/// # Panics
+/// Same conditions as [`simulate_sort`].
+#[must_use]
+pub fn simulate_sort_keys<K: SortKey>(
+    input: &[K],
+    algo: SortAlgorithm,
+    config: &SortConfig,
+) -> SortRun<K> {
+    let w = config.device.warp_width as usize;
+    let (e, u) = (config.params.e, config.params.u);
+    config.params.validate(w);
+    assert!(u.is_power_of_two(), "blocksort pairing requires a power-of-two u (got {u})");
+    let banks = config.device.bank_model();
+    let strategy = algo.strategy();
+    let tile = u * e;
+    let n = input.len();
+    if n == 0 {
+        return SortRun {
+            output: Vec::new(),
+            profile: KernelProfile::new(),
+            simulated_seconds: 0.0,
+            kernels: Vec::new(),
+            n: 0,
+        };
+    }
+
+    // Pad to a power-of-two number of tiles.
+    let runs = n.div_ceil(tile).next_power_of_two();
+    let n_pad = runs * tile;
+    let mut src = input.to_vec();
+    src.resize(n_pad, K::MAX_SENTINEL);
+    let mut dst = vec![K::default(); n_pad];
+
+    let mut kernels: Vec<KernelReport> = Vec::new();
+
+    // ---- Phase 1: block sort ----
+    {
+        let profiles: Vec<KernelProfile> = src
+            .par_chunks(tile)
+            .zip(dst.par_chunks_mut(tile))
+            .enumerate()
+            .map(|(t, (s, d))| {
+                blocksort_block(
+                    banks,
+                    u,
+                    e,
+                    strategy,
+                    s,
+                    d,
+                    t * tile,
+                    config.count_accesses,
+                )
+            })
+            .collect();
+        let mut profile = KernelProfile::new();
+        for p in &profiles {
+            profile.merge(p);
+        }
+        let launch = config.launch(runs as u64);
+        let time = config.timing.kernel_time(&config.device, &profile.total(), &launch);
+        kernels.push(KernelReport { name: "blocksort".into(), blocks: runs as u64, profile, time });
+        std::mem::swap(&mut src, &mut dst);
+    }
+
+    // ---- Phase 2: merge passes ----
+    let mut width = tile;
+    let mut pass = 0usize;
+    while width < n_pad {
+        let pair = 2 * width;
+        // Build all block jobs for this pass (host-side partitioning —
+        // on the device this is the small "partition kernel", charged
+        // below).
+        let mut jobs: Vec<MergeChunkJob> = Vec::with_capacity(n_pad / tile);
+        let mut search_cost = KernelProfile::new();
+        for pair_lo in (0..n_pad).step_by(pair) {
+            let a = &src[pair_lo..pair_lo + width];
+            let b = &src[pair_lo + width..pair_lo + pair];
+            for c in partition_merge(a, b, tile) {
+                jobs.push(MergeChunkJob {
+                    a_begin: pair_lo + c.a_begin,
+                    a_end: pair_lo + c.a_end,
+                    b_begin: pair_lo + width + c.b_begin,
+                    b_end: pair_lo + width + c.b_end,
+                });
+            }
+            // Partition-kernel accounting: one boundary search per block
+            // in the pair, 2 uncoalesced global loads per iteration.
+            if config.count_accesses {
+                let blocks_in_pair = (pair / tile) as u64;
+                let steps = u64::from(merge_path_steps(pair / 2, width, width));
+                let s = search_cost.phase_mut(PhaseClass::Search);
+                s.global_ld_requests += blocks_in_pair * steps * 2;
+                s.global_ld_sectors += blocks_in_pair * steps * 2;
+                s.alu_ops += blocks_in_pair * steps * 6;
+            }
+        }
+        let profiles: Vec<KernelProfile> = jobs
+            .par_iter()
+            .zip(dst.par_chunks_mut(tile))
+            .map(|(job, chunk)| {
+                merge_pass_block(banks, u, e, strategy, &src, *job, chunk, config.count_accesses)
+            })
+            .collect();
+        let mut profile = search_cost;
+        for p in &profiles {
+            profile.merge(p);
+        }
+        let blocks = jobs.len() as u64;
+        let launch = config.launch(blocks);
+        let time = config.timing.kernel_time(&config.device, &profile.total(), &launch);
+        kernels.push(KernelReport { name: format!("merge-pass-{pass}"), blocks, profile, time });
+        std::mem::swap(&mut src, &mut dst);
+        width = pair;
+        pass += 1;
+    }
+
+    src.truncate(n);
+    let mut profile = KernelProfile::new();
+    let mut seconds = 0.0;
+    for k in &kernels {
+        profile.merge(&k.profile);
+        seconds += k.time.seconds;
+    }
+    SortRun { output: src, profile, simulated_seconds: seconds, kernels, n }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inputs::InputSpec;
+
+    fn cfg(e: usize, u: usize) -> SortConfig {
+        SortConfig::with_params(SortParams::new(e, u))
+    }
+
+    #[test]
+    fn sorts_correctly_all_shapes_and_algorithms() {
+        for spec in [
+            InputSpec::UniformRandom { seed: 1 },
+            InputSpec::Sorted,
+            InputSpec::Reversed,
+            InputSpec::FewDistinct { seed: 2, distinct: 5 },
+            InputSpec::NearlySorted { seed: 3, swaps: 50 },
+        ] {
+            for n in [1usize, 100, 7680, 7681, 30720, 100_000] {
+                let input = spec.generate(n);
+                for algo in [SortAlgorithm::ThrustMergesort, SortAlgorithm::CfMerge] {
+                    let c = cfg(15, 512);
+                    let run = simulate_sort(&input, algo, &c);
+                    let mut expect = input.clone();
+                    expect.sort_unstable();
+                    assert_eq!(run.output, expect, "{} n={n} {:?}", spec.label(), algo);
+                    assert_eq!(run.n, n);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cf_merge_has_zero_merge_conflicts_end_to_end() {
+        // Coprime E (the variant the paper implements): zero conflicts in
+        // the gather across the whole sort, block sort included.
+        for (e, u) in [(15usize, 512usize), (17, 256)] {
+            let input = InputSpec::UniformRandom { seed: 9 }.generate(4 * e * u);
+            let run = simulate_sort(&input, SortAlgorithm::CfMerge, &cfg(e, u));
+            assert_eq!(run.profile.merge_bank_conflicts(), 0, "E={e} u={u}");
+            assert!(run.output.is_sorted());
+        }
+    }
+
+    #[test]
+    fn cf_merge_noncoprime_global_passes_are_conflict_free() {
+        // For d > 1 the full ρ layout applies to the global merge passes
+        // (the block sort's small pairs use the reversal-only layout and
+        // may conflict — see DESIGN.md). The per-kernel reports let us
+        // check exactly that.
+        let (e, u) = (16usize, 256usize);
+        let input = InputSpec::UniformRandom { seed: 10 }.generate(4 * e * u);
+        let run = simulate_sort(&input, SortAlgorithm::CfMerge, &cfg(e, u));
+        assert!(run.output.is_sorted());
+        for k in run.kernels.iter().filter(|k| k.name.starts_with("merge-pass")) {
+            assert_eq!(
+                k.profile.merge_bank_conflicts(),
+                0,
+                "{}: global-pass gather must be conflict-free even at E=16",
+                k.name
+            );
+        }
+    }
+
+    #[test]
+    fn thrust_random_has_small_conflicts_per_round() {
+        // Karsin et al.: 2–3 conflicts per merge step on random inputs.
+        let c = cfg(15, 512);
+        let input = InputSpec::UniformRandom { seed: 4 }.generate(8 * 7680);
+        let run = simulate_sort(&input, SortAlgorithm::ThrustMergesort, &c);
+        let cpr = run.conflicts_per_merge_round();
+        assert!(cpr > 0.5 && cpr < 6.0, "conflicts/round = {cpr}");
+    }
+
+    #[test]
+    fn worst_case_inflates_thrust_but_not_cf() {
+        let c = cfg(15, 512);
+        let n = 8 * 7680;
+        let worst = InputSpec::WorstCase { w: 32, e: 15, u: 512 }.generate(n);
+        let random = InputSpec::UniformRandom { seed: 5 }.generate(n);
+
+        let t_worst = simulate_sort(&worst, SortAlgorithm::ThrustMergesort, &c);
+        let t_rand = simulate_sort(&random, SortAlgorithm::ThrustMergesort, &c);
+        let cf_worst = simulate_sort(&worst, SortAlgorithm::CfMerge, &c);
+
+        assert!(t_worst.output.is_sorted());
+        let wc = t_worst.profile.phase(PhaseClass::Merge).bank_conflicts();
+        let rc = t_rand.profile.phase(PhaseClass::Merge).bank_conflicts();
+        assert!(wc > 2 * rc.max(1), "worst-case Merge conflicts {wc} vs random {rc}");
+        assert_eq!(cf_worst.profile.merge_bank_conflicts(), 0);
+        assert!(
+            t_worst.simulated_seconds > t_rand.simulated_seconds,
+            "worst case must be slower for the baseline"
+        );
+        assert!(
+            cf_worst.simulated_seconds < t_worst.simulated_seconds,
+            "CF must beat the baseline on worst-case inputs"
+        );
+    }
+
+    #[test]
+    fn kernel_reports_cover_all_passes() {
+        let c = cfg(15, 512);
+        let input = InputSpec::UniformRandom { seed: 6 }.generate(8 * 7680);
+        let run = simulate_sort(&input, SortAlgorithm::ThrustMergesort, &c);
+        // 8 tiles → blocksort + 3 merge passes.
+        assert_eq!(run.kernels.len(), 4);
+        assert_eq!(run.kernels[0].name, "blocksort");
+        assert_eq!(run.kernels[3].name, "merge-pass-2");
+        assert!(run.simulated_seconds > 0.0);
+        assert!(run.throughput() > 0.0);
+    }
+
+    #[test]
+    fn empty_input() {
+        let run = simulate_sort(&[], SortAlgorithm::CfMerge, &cfg(15, 512));
+        assert!(run.output.is_empty());
+        assert_eq!(run.simulated_seconds, 0.0);
+    }
+
+    #[test]
+    fn counting_off_matches_output() {
+        let input = InputSpec::UniformRandom { seed: 7 }.generate(2 * 7680);
+        let mut c = cfg(15, 512);
+        let with = simulate_sort(&input, SortAlgorithm::CfMerge, &c);
+        c.count_accesses = false;
+        let without = simulate_sort(&input, SortAlgorithm::CfMerge, &c);
+        assert_eq!(with.output, without.output);
+        assert_eq!(without.profile.total().shared_requests(), 0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Theorem 8: closed-form worst-case conflict counts.
+//!
+//! Using the tuple sequence `T` to assign elements, the serial-merge scans
+//! of one warp incur
+//!
+//! ```text
+//! E²                                   if 1 < E ≤ w/2   (q > 1)
+//! (E² + 2Er + Ed − r² − rd) / 2        if w/2 < E ≤ w   (q = 1)
+//! ```
+//!
+//! total bank conflicts (summing the per-subproblem counts over the `d`
+//! subproblems; each subproblem contributes `E²/d` in the first case and
+//! `(E²/d + 2Er/d + E − r²/d − r)/2` in the second).
+
+use super::tuples::WcParams;
+
+/// Predicted conflicts for one subproblem of `w/d` threads (Theorem 8's
+/// per-subproblem statement).
+#[must_use]
+pub fn predicted_subproblem_conflicts(w: usize, e: usize) -> u64 {
+    let p = WcParams::new(w, e);
+    let (e_, d, r) = (e as u64, p.d as u64, p.r as u64);
+    if p.q > 1 {
+        e_ * e_ / d
+    } else {
+        (e_ * e_ / d + 2 * e_ * r / d + e_ - r * r / d - r) / 2
+    }
+}
+
+/// Predicted conflicts for a full warp (`d` subproblems combined — the
+/// boxed formula at the end of Section 4).
+///
+/// ```
+/// use cfmerge_core::worst_case::predicted_warp_conflicts;
+/// // The paper's headline parameters:
+/// assert_eq!(predicted_warp_conflicts(32, 15), 225); // E ≤ w/2 → E²
+/// assert_eq!(predicted_warp_conflicts(32, 17), 288); // w/2 < E ≤ w
+/// ```
+#[must_use]
+pub fn predicted_warp_conflicts(w: usize, e: usize) -> u64 {
+    let p = WcParams::new(w, e);
+    let (e_, d, r) = (e as u64, p.d as u64, p.r as u64);
+    if p.q > 1 {
+        e_ * e_
+    } else {
+        (e_ * e_ + 2 * e_ * r + e_ * d - r * r - r * d) / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headline_parameters() {
+        // E = 15, w = 32: q = 2 > 1 → E² = 225 conflicts per warp.
+        assert_eq!(predicted_warp_conflicts(32, 15), 225);
+        // E = 17, w = 32: q = 1, r = 15, d = 1 →
+        // (289 + 510 + 17 − 225 − 15)/2 = 288.
+        assert_eq!(predicted_warp_conflicts(32, 17), 288);
+        // E = 16, w = 32: q = 2 → 256.
+        assert_eq!(predicted_warp_conflicts(32, 16), 256);
+    }
+
+    #[test]
+    fn warp_is_d_times_subproblem() {
+        for w in 2..=40usize {
+            for e in 2..=w {
+                let p = WcParams::new(w, e);
+                let per_sub = predicted_subproblem_conflicts(w, e);
+                let warp = predicted_warp_conflicts(w, e);
+                // All divisions in the formulas are exact (d | E, d | r),
+                // so d·per_sub == warp exactly.
+                assert_eq!(per_sub * p.d as u64, warp, "w={w} E={e}");
+            }
+        }
+    }
+
+    #[test]
+    fn e_equals_w_degenerates_gracefully() {
+        // d = E = w, r = 0: q = 1, formula = (E² + E·E)/2 = E².
+        for w in [4usize, 8, 12, 32] {
+            assert_eq!(predicted_warp_conflicts(w, w), (w * w) as u64);
+        }
+    }
+
+    #[test]
+    fn counts_grow_with_e_roughly_quadratically() {
+        let mut prev = 0;
+        for e in 2..=16usize {
+            let c = predicted_warp_conflicts(32, e);
+            assert!(c >= prev, "E={e}");
+            prev = c;
+        }
+        // Upper bound: a warp performs E rounds of ≤ w-way conflicts.
+        for e in 2..=32usize {
+            assert!(predicted_warp_conflicts(32, e) <= (e * 32) as u64);
+        }
+    }
+
+    #[test]
+    fn division_exactness() {
+        // The fractions in Theorem 8 are integers for every valid (w, E):
+        // check no truncation happened by recomputing in i128 with exact
+        // rational arithmetic.
+        for w in 2..=48usize {
+            for e in 2..=w {
+                let p = WcParams::new(w, e);
+                let (e_, d, r) = (e as i128, p.d as i128, p.r as i128);
+                if p.q == 1 {
+                    let num = e_ * e_ + 2 * e_ * r + e_ * d - r * r - r * d;
+                    assert_eq!(num % 2, 0, "w={w} E={e}");
+                    assert_eq!(
+                        predicted_warp_conflicts(w, e) as i128,
+                        num / 2,
+                        "w={w} E={e}"
+                    );
+                }
+                assert_eq!(e_ * e_ % d, 0);
+                assert_eq!(r % d, 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,306 @@
+//! The tuple sequences `S` and `T` of Section 4.
+//!
+//! A *tuple* `(a, b)` with `a + b = E` prescribes how many elements a
+//! thread consumes from each list. The worst case packs as many full
+//! scans — `(E, 0)` and `(0, E)` — as possible, with the mixed tuples of
+//! `S` inserted between groups to keep every scan's start address
+//! congruent to `w − E (mod w)`, i.e. vertically aligned in the bottom
+//! `E` banks (Figure 4).
+//!
+//! With `w = qE + r` (Euclid) and `d = gcd(w, E) = gcd(E, r)`
+//! (Corollary 17), the sequence `S` is built from
+//! `sᵢ = i·(r/d) mod (E/d)`, `xᵢ = (E/d − sᵢ)d`, `yᵢ = sᵢ·d`
+//! (Lemmas 5–7), and `T` interleaves `S` with runs of `q` or `q − 1` full
+//! scans so that consecutive scan groups advance the offset by exactly
+//! `w` positions (mod bank wrap).
+
+use cfmerge_numtheory::division::euclid_div;
+use cfmerge_numtheory::gcd;
+
+/// A consumption tuple `(a, b)`: the thread reads `a` elements of `A` and
+/// `b` of `B`, `a + b = E`.
+pub type Tuple = (usize, usize);
+
+/// Decomposed parameters of the construction for one `(w, E)` pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WcParams {
+    /// Warp width.
+    pub w: usize,
+    /// Elements per thread.
+    pub e: usize,
+    /// `gcd(w, E)`.
+    pub d: usize,
+    /// `w = qE + r`.
+    pub q: usize,
+    /// `w = qE + r`, `0 ≤ r < E`.
+    pub r: usize,
+}
+
+impl WcParams {
+    /// Compute the derived quantities.
+    ///
+    /// # Panics
+    /// Panics unless `1 < E ≤ w` (the construction's range; Theorem 8).
+    #[must_use]
+    pub fn new(w: usize, e: usize) -> Self {
+        assert!(e > 1 && e <= w, "worst-case construction requires 1 < E ≤ w (E={e}, w={w})");
+        let d = gcd(w as u64, e as u64) as usize;
+        let (q, r) = euclid_div(w as i64, e as i64);
+        Self { w, e, d, q: q as usize, r: r as usize }
+    }
+}
+
+/// `sᵢ = i·(r/d) mod (E/d)` for `i ∈ {1, …, E/d − 1}` (all distinct by
+/// Lemma 5). Returned indexed from `i = 1` (index 0 holds `s₁`).
+#[must_use]
+pub fn sequence_s_values(p: &WcParams) -> Vec<usize> {
+    let ed = p.e / p.d;
+    let rd = p.r / p.d;
+    (1..ed).map(|i| (i * rd) % ed).collect()
+}
+
+/// The sequence `S` of mixed tuples `(aᵢ, bᵢ)`, `i ∈ {1, …, E/d − 1}`:
+/// `aᵢ = xᵢ` for even `i`, `yᵢ` for odd `i` (and `bᵢ` the complement).
+#[must_use]
+pub fn sequence_s(p: &WcParams) -> Vec<Tuple> {
+    let svals = sequence_s_values(p);
+    let ed = p.e / p.d;
+    svals
+        .iter()
+        .enumerate()
+        .map(|(idx, &s)| {
+            let i = idx + 1;
+            let x = (ed - s) * p.d;
+            let y = s * p.d;
+            if i % 2 == 0 {
+                (x, y)
+            } else {
+                (y, x)
+            }
+        })
+        .collect()
+}
+
+/// The full per-subproblem sequence `T`: `w/d` tuples assigning elements
+/// to the `w/d` threads of one subproblem of `wE/d` elements.
+///
+/// Follows the three construction steps of Section 4 verbatim; when
+/// `E/d = 1` (i.e. `E | w`, so `r = 0` and `S` is empty) the sequence
+/// degenerates to `q` full `(E, 0)` scans.
+#[must_use]
+pub fn sequence_t(p: &WcParams) -> Vec<Tuple> {
+    let ed = p.e / p.d;
+    let e = p.e;
+    let q = p.q;
+    let mut t: Vec<Tuple> = Vec::with_capacity(p.w / p.d);
+    if ed == 1 {
+        // Degenerate case E | w: all threads scan A.
+        t.extend(std::iter::repeat_n((e, 0), q));
+        debug_assert_eq!(t.len(), p.w / p.d);
+        return t;
+    }
+    let s = sequence_s(p);
+    let svals = sequence_s_values(p);
+    let x = |i: usize| (ed - svals[i - 1]) * p.d; // xᵢ, i ≥ 1
+    let y = |i: usize| svals[i - 1] * p.d; // yᵢ
+
+    // Step 1: (a₁, b₁) = (y₁, x₁) = (r, E − r), then q tuples of (E, 0).
+    t.push(s[0]);
+    t.extend(std::iter::repeat_n((e, 0), q));
+
+    // Step 2: for i = 1 … E/d − 2, insert (aᵢ₊₁, bᵢ₊₁) then fillers.
+    #[allow(clippy::needless_range_loop)] // i is the paper's index variable
+    for i in 1..=ed - 2 {
+        t.push(s[i]); // S is 0-indexed: s[i] = tuple i+1
+        let gap = x(i) + y(i + 1);
+        let count = if gap == p.r {
+            q
+        } else {
+            debug_assert_eq!(gap, p.e + p.r, "Lemma 7 violated at i={i}");
+            q - 1
+        };
+        let filler = if i % 2 == 0 { (e, 0) } else { (0, e) };
+        t.extend(std::iter::repeat_n(filler, count));
+    }
+
+    // Step 3: q tuples of (E,0) if (E/d − 1) even, else (0,E).
+    let filler = if (ed - 1).is_multiple_of(2) { (e, 0) } else { (0, e) };
+    t.extend(std::iter::repeat_n(filler, q));
+
+    t
+}
+
+/// A full warp's tuple sequence: the `d` subproblems concatenated, with
+/// alternating orientation (odd subproblems swap `(a, b)` — the
+/// "symmetric case" of Section 4) so that consecutive subproblems consume
+/// balanced amounts of `A` and `B`. `flip` swaps the orientation of the
+/// whole warp (used by the builder to balance consecutive warps).
+#[must_use]
+pub fn warp_tuples(p: &WcParams, flip: bool) -> Vec<Tuple> {
+    let t = sequence_t(p);
+    let mut out = Vec::with_capacity(p.w);
+    for sub in 0..p.d {
+        let swap = (sub % 2 == 1) ^ flip;
+        for &(a, b) in &t {
+            out.push(if swap { (b, a) } else { (a, b) });
+        }
+    }
+    debug_assert_eq!(out.len(), p.w);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_params() -> Vec<WcParams> {
+        let mut v = Vec::new();
+        for w in 2..=40usize {
+            for e in 2..=w {
+                v.push(WcParams::new(w, e));
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn params_decomposition() {
+        let p = WcParams::new(32, 15);
+        assert_eq!((p.d, p.q, p.r), (1, 2, 2));
+        let p = WcParams::new(32, 17);
+        assert_eq!((p.d, p.q, p.r), (1, 1, 15));
+        let p = WcParams::new(12, 9);
+        assert_eq!((p.d, p.q, p.r), (3, 1, 3));
+        let p = WcParams::new(32, 16);
+        assert_eq!((p.d, p.q, p.r), (16, 2, 0));
+    }
+
+    #[test]
+    fn lemma5_s_values_distinct() {
+        for p in all_params() {
+            let s = sequence_s_values(&p);
+            let mut sorted = s.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), s.len(), "w={} E={}", p.w, p.e);
+        }
+    }
+
+    #[test]
+    fn lemma6_reflection() {
+        // E/d − sᵢ = s_{E/d − i}.
+        for p in all_params() {
+            let ed = p.e / p.d;
+            let s = sequence_s_values(&p);
+            for i in 1..ed {
+                let lhs = (ed - s[i - 1]) % ed;
+                let rhs = s[(ed - i) - 1] % ed;
+                assert_eq!(lhs % ed, rhs, "w={} E={} i={i}", p.w, p.e);
+            }
+        }
+    }
+
+    #[test]
+    fn lemma7_gap_values() {
+        // xᵢ + yᵢ₊₁ ∈ {r, E + r}, with r iff xᵢ < r.
+        for p in all_params() {
+            let ed = p.e / p.d;
+            if ed < 3 {
+                continue;
+            }
+            let s = sequence_s_values(&p);
+            for i in 1..=ed - 2 {
+                let x_i = (ed - s[i - 1]) * p.d;
+                let y_i1 = s[i] * p.d;
+                let gap = x_i + y_i1;
+                if x_i < p.r {
+                    assert_eq!(gap, p.r, "w={} E={} i={i}", p.w, p.e);
+                } else {
+                    assert_eq!(gap, p.e + p.r, "w={} E={} i={i}", p.w, p.e);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn t_has_length_w_over_d_and_conserves_elements() {
+        for p in all_params() {
+            let t = sequence_t(&p);
+            assert_eq!(t.len(), p.w / p.d, "w={} E={}", p.w, p.e);
+            for &(a, b) in &t {
+                assert_eq!(a + b, p.e, "each thread consumes E (w={} E={})", p.w, p.e);
+            }
+            let total: usize = t.iter().map(|&(a, b)| a + b).sum();
+            assert_eq!(total, p.w * p.e / p.d, "subproblem size wE/d");
+        }
+    }
+
+    #[test]
+    fn paper_example_w32_e15() {
+        // w = 32, E = 15: q = 2, r = 2, d = 1. T starts
+        // (2, 13), (15,0), (15,0), … and |T| = 32.
+        let p = WcParams::new(32, 15);
+        let t = sequence_t(&p);
+        assert_eq!(t.len(), 32);
+        assert_eq!(t[0], (2, 13));
+        assert_eq!(t[1], (15, 0));
+        assert_eq!(t[2], (15, 0));
+        // Count full scans: |T| − (E/d − 1) mixed tuples = 32 − 14 = 18.
+        let scans = t.iter().filter(|&&(a, b)| a == 15 || b == 15).count();
+        assert_eq!(scans, 18);
+    }
+
+    #[test]
+    fn warp_tuples_cover_w_threads_and_balance_pairs() {
+        for p in all_params() {
+            let normal = warp_tuples(&p, false);
+            let flipped = warp_tuples(&p, true);
+            assert_eq!(normal.len(), p.w);
+            assert_eq!(flipped.len(), p.w);
+            // A flipped warp consumes exactly what the normal warp
+            // consumes from the other list, so a (normal, flipped) pair
+            // is perfectly balanced.
+            let a_n: usize = normal.iter().map(|&(a, _)| a).sum();
+            let a_f: usize = flipped.iter().map(|&(a, _)| a).sum();
+            let b_n: usize = normal.iter().map(|&(_, b)| b).sum();
+            assert_eq!(a_f, b_n);
+            assert_eq!(a_n + a_f, p.w * p.e, "w={} E={}", p.w, p.e);
+        }
+    }
+
+    #[test]
+    fn subproblem_a_consumption_is_a_multiple_of_w() {
+        // Needed so every subproblem's scans start at bank-aligned
+        // offsets when assembled (Section 4's alignment argument).
+        for p in all_params() {
+            let t = sequence_t(&p);
+            let a_total: usize = t.iter().map(|&(a, _)| a).sum();
+            assert_eq!(a_total % p.w, 0, "w={} E={} a_total={a_total}", p.w, p.e);
+            // And it matches the paper's stated ⌈E/2d⌉·w (for E/d ≥ 2 the
+            // construction alternates scan directions; the A side gets
+            // the ceiling).
+            let ed = p.e / p.d;
+            if ed >= 2 {
+                assert_eq!(
+                    a_total,
+                    ed.div_ceil(2) * p.d * p.w / p.d,
+                    "w={} E={}",
+                    p.w,
+                    p.e
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "1 < E ≤ w")]
+    fn e_too_large_rejected() {
+        let _ = WcParams::new(8, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "1 < E ≤ w")]
+    fn e_one_rejected() {
+        let _ = WcParams::new(8, 1);
+    }
+}

@@ -1,0 +1,248 @@
+//! Shared-memory bank model and exact conflict accounting.
+//!
+//! On NVIDIA GPUs shared memory is divided into `w` banks; the word at
+//! address `j` lives in bank `j mod w` (Section 2 of the paper). When the
+//! `w` threads of a warp issue one lock-step access, the hardware splits it
+//! into one *transaction* per distinct word per bank, replaying the
+//! instruction until every bank's words are served. The access therefore
+//! costs `max_b (# distinct words in bank b)` transactions; any count above
+//! one is a **bank conflict**. Accesses by multiple lanes to the *same*
+//! word are broadcast and cost nothing extra (footnote 4).
+//!
+//! [`BankModel::round_cost`] implements this exactly, and is the single
+//! function every conflict number in this repository flows through.
+
+use serde::{Deserialize, Serialize};
+
+/// Static description of a shared-memory bank layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BankModel {
+    /// Number of banks `w` (32 on all modern NVIDIA GPUs; the paper's
+    /// figures use 12, 9, and 6 for legibility).
+    pub num_banks: u32,
+}
+
+/// Cost of one warp-wide lock-step shared-memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RoundCost {
+    /// Number of transactions the access splits into
+    /// (`max_b` distinct-words-in-bank-`b`; 0 if no lane was active).
+    pub transactions: u32,
+    /// Extra transactions beyond the first, i.e. `max(0, transactions - 1)`
+    /// summed nowhere — this is the per-access figure nvprof calls a bank
+    /// conflict.
+    pub conflicts: u32,
+    /// Number of lanes that participated.
+    pub active_lanes: u32,
+}
+
+impl BankModel {
+    /// A model with `w` banks.
+    ///
+    /// # Panics
+    /// Panics if `num_banks == 0`.
+    #[must_use]
+    pub fn new(num_banks: u32) -> Self {
+        assert!(num_banks > 0, "a shared memory must have at least one bank");
+        Self { num_banks }
+    }
+
+    /// The standard NVIDIA configuration: 32 banks of 4-byte words.
+    #[must_use]
+    pub fn nvidia() -> Self {
+        Self::new(32)
+    }
+
+    /// Bank holding word address `addr` (`addr mod w`).
+    #[inline]
+    #[must_use]
+    pub fn bank_of(&self, addr: u32) -> u32 {
+        addr % self.num_banks
+    }
+
+    /// Exact cost of one lock-step access by up to `w` lanes.
+    ///
+    /// `addrs` holds the word addresses issued this round, one entry per
+    /// *active* lane (inactive/predicated-off lanes are simply omitted).
+    /// Duplicated addresses are broadcast (counted once); distinct
+    /// addresses mapping to the same bank serialize.
+    ///
+    /// The implementation is the hot inner loop of the whole simulator:
+    /// per-bank distinct counting over at most `w` addresses using two
+    /// small stack buffers, no allocation.
+    #[must_use]
+    pub fn round_cost(&self, addrs: &[u32]) -> RoundCost {
+        if addrs.is_empty() {
+            return RoundCost::default();
+        }
+        let w = self.num_banks as usize;
+        debug_assert!(
+            addrs.len() <= w,
+            "a warp round cannot issue more lanes ({}) than banks/warp width ({w})",
+            addrs.len()
+        );
+        // distinct[b] counts distinct words seen in bank b so far;
+        // first[b] caches the first word seen in bank b (the overwhelmingly
+        // common bank population is 0 or 1, so this resolves most lanes
+        // without touching the spill list).
+        let mut distinct = [0u8; MAX_BANKS];
+        let mut first = [0u32; MAX_BANKS];
+        // Spill storage for banks with ≥2 distinct words: (bank, word).
+        let mut spill: [(u32, u32); MAX_BANKS] = [(0, 0); MAX_BANKS];
+        let mut spill_len = 0usize;
+        assert!(
+            w <= MAX_BANKS,
+            "BankModel supports at most {MAX_BANKS} banks, got {w}"
+        );
+
+        let mut max_distinct = 0u8;
+        for &addr in addrs {
+            let b = (addr % self.num_banks) as usize;
+            let seen = match distinct[b] {
+                0 => {
+                    first[b] = addr;
+                    false
+                }
+                1 => first[b] == addr,
+                _ => {
+                    first[b] == addr
+                        || spill[..spill_len].iter().any(|&(sb, sw)| sb == b as u32 && sw == addr)
+                }
+            };
+            if !seen {
+                if distinct[b] >= 1 {
+                    spill[spill_len] = (b as u32, addr);
+                    spill_len += 1;
+                }
+                distinct[b] += 1;
+                max_distinct = max_distinct.max(distinct[b]);
+            }
+        }
+        let transactions = u32::from(max_distinct);
+        RoundCost {
+            transactions,
+            conflicts: transactions.saturating_sub(1),
+            active_lanes: addrs.len() as u32,
+        }
+    }
+
+    /// Cost of a *strided* access: lane `k` touches `base + k*stride`
+    /// (the pattern of the paper's Figure 1). Convenience for tests and
+    /// the figure harness.
+    #[must_use]
+    pub fn strided_cost(&self, base: u32, stride: u32) -> RoundCost {
+        let addrs: Vec<u32> = (0..self.num_banks).map(|k| base + k * stride).collect();
+        self.round_cost(&addrs)
+    }
+}
+
+/// Upper bound on supported bank counts (NVIDIA uses 32; 64 covers any
+/// hypothetical double-width configuration and all paper figure examples).
+pub const MAX_BANKS: usize = 64;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_round_is_free() {
+        let m = BankModel::nvidia();
+        let c = m.round_cost(&[]);
+        assert_eq!(c.transactions, 0);
+        assert_eq!(c.conflicts, 0);
+        assert_eq!(c.active_lanes, 0);
+    }
+
+    #[test]
+    fn unit_stride_is_conflict_free() {
+        let m = BankModel::nvidia();
+        let addrs: Vec<u32> = (100..132).collect();
+        let c = m.round_cost(&addrs);
+        assert_eq!(c.transactions, 1);
+        assert_eq!(c.conflicts, 0);
+    }
+
+    #[test]
+    fn figure1_coprime_vs_noncoprime_stride() {
+        // Figure 1: w = 12. Stride 5 (coprime) → 1 transaction; stride 6
+        // (gcd 6) → 6 distinct words per used bank → 6 transactions.
+        let m = BankModel::new(12);
+        assert_eq!(m.strided_cost(0, 5).conflicts, 0);
+        assert_eq!(m.strided_cost(0, 6).transactions, 6);
+        assert_eq!(m.strided_cost(0, 6).conflicts, 5);
+        // Worst case: stride w → all 12 words in bank 0.
+        assert_eq!(m.strided_cost(0, 12).transactions, 12);
+    }
+
+    #[test]
+    fn stride_cost_equals_gcd() {
+        // Classical result: w lanes at stride s produce gcd(s, w)
+        // transactions (each used bank receives gcd distinct words).
+        for w in 1u32..=33 {
+            let m = BankModel::new(w);
+            for s in 1u32..=64 {
+                let g = cfmerge_numtheory::gcd(u64::from(s), u64::from(w)) as u32;
+                assert_eq!(m.strided_cost(7, s).transactions, g, "w={w} s={s}");
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_is_free() {
+        let m = BankModel::nvidia();
+        // All 32 lanes read the same word: one transaction, no conflict.
+        let addrs = [17u32; 32];
+        let c = m.round_cost(&addrs);
+        assert_eq!(c.transactions, 1);
+        assert_eq!(c.conflicts, 0);
+        // Two groups broadcasting two words in *different* banks: still 1.
+        let mut addrs = [5u32; 32];
+        addrs[16..].fill(6);
+        assert_eq!(m.round_cost(&addrs).transactions, 1);
+        // Two distinct words in the SAME bank: 2 transactions even with
+        // broadcast within each group.
+        let mut addrs = [5u32; 32];
+        addrs[16..].fill(5 + 32);
+        let c = m.round_cost(&addrs);
+        assert_eq!(c.transactions, 2);
+        assert_eq!(c.conflicts, 1);
+    }
+
+    #[test]
+    fn partial_warp() {
+        let m = BankModel::nvidia();
+        let c = m.round_cost(&[0, 32, 64]);
+        assert_eq!(c.transactions, 3);
+        assert_eq!(c.active_lanes, 3);
+    }
+
+    #[test]
+    fn mixed_pattern_matches_naive_count() {
+        // Cross-check the fast implementation against a naive set-based
+        // computation on many patterns.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(0xC0FFEE);
+        for w in [4u32, 12, 32] {
+            let m = BankModel::new(w);
+            for _ in 0..500 {
+                let lanes = rng.gen_range(1..=w as usize);
+                let addrs: Vec<u32> = (0..lanes).map(|_| rng.gen_range(0..4 * w)).collect();
+                let naive = {
+                    let mut per_bank: Vec<std::collections::BTreeSet<u32>> =
+                        vec![Default::default(); w as usize];
+                    for &a in &addrs {
+                        per_bank[(a % w) as usize].insert(a);
+                    }
+                    per_bank.iter().map(|s| s.len() as u32).max().unwrap_or(0)
+                };
+                assert_eq!(m.round_cost(&addrs).transactions, naive, "w={w} {addrs:?}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bank")]
+    fn zero_banks_rejected() {
+        let _ = BankModel::new(0);
+    }
+}

@@ -1,0 +1,588 @@
+//! Warp-synchronous thread-block execution engine.
+//!
+//! A kernel is expressed as a sequence of barrier-delimited **phases**; in
+//! each phase every thread of the block runs the same per-lane closure.
+//! Each lane's shared- and global-memory accesses are recorded as an
+//! ordered trace, and traces are aligned *by access index* across the `w`
+//! lanes of each warp: the `r`-th shared access of every lane forms the
+//! warp's round `r`, exactly the lock-step model of the paper (Section 1,
+//! footnote 2: conflict-free warps have no reason to diverge). Rounds are
+//! priced by [`BankModel::round_cost`] and accumulated into a
+//! [`KernelProfile`].
+//!
+//! ## Fidelity notes
+//!
+//! * Lanes of a warp execute *sequentially* inside the simulator but are
+//!   costed as if lock-step. This is exact provided no lane reads a shared
+//!   word written by a different lane **in the same phase** — which on a
+//!   real GPU would equally require a `__syncthreads()`. The engine
+//!   enforces this with a per-phase write-epoch race detector and panics
+//!   on violation, so an un-barriered kernel cannot silently produce
+//!   results the hardware would not.
+//! * Every kernel in this repository issues the same number of accesses on
+//!   every lane of a warp within a phase (serial merge: `E` loads; gather:
+//!   `E` loads; searches: a fixed iteration count), so index alignment is
+//!   not an approximation for them. Lanes that issue fewer accesses are
+//!   treated as predicated off for the trailing rounds.
+
+use crate::banks::{BankModel, RoundCost};
+use crate::global::sectors_touched;
+use crate::profiler::{KernelProfile, PhaseClass};
+
+/// One recorded shared-memory access.
+#[derive(Debug, Clone, Copy)]
+struct SharedAcc {
+    addr: u32,
+    store: bool,
+}
+
+/// One recorded global-memory access (element index within a flat space).
+#[derive(Debug, Clone, Copy)]
+struct GlobalAcc {
+    idx: u64,
+    store: bool,
+}
+
+/// Per-round detail kept when round logging is enabled (figure harness).
+#[derive(Debug, Clone)]
+pub struct LoggedRound {
+    /// `(lane_in_warp, address)` pairs for loads in this round.
+    pub loads: Vec<(u32, u32)>,
+    /// `(lane_in_warp, address)` pairs for stores in this round.
+    pub stores: Vec<(u32, u32)>,
+    /// Cost of the load part (zero if no loads).
+    pub ld_cost: RoundCost,
+    /// Cost of the store part.
+    pub st_cost: RoundCost,
+}
+
+/// Round-by-round log of one warp in one phase.
+#[derive(Debug, Clone)]
+pub struct WarpPhaseLog {
+    /// Phase the rounds belong to.
+    pub class: PhaseClass,
+    /// Warp index within the block.
+    pub warp: usize,
+    /// The rounds, in execution order.
+    pub rounds: Vec<LoggedRound>,
+}
+
+/// Simulated thread block: `u` threads over a shared-memory array of `T`.
+pub struct BlockSim<T: Copy> {
+    banks: BankModel,
+    /// Threads per block (`u` in the paper; must be a multiple of `w`).
+    u: usize,
+    shared: Vec<T>,
+    write_epoch: Vec<u32>,
+    write_lane: Vec<u32>,
+    epoch: u32,
+    /// Accumulated counters for this block.
+    pub profile: KernelProfile,
+    counting: bool,
+    log_rounds: bool,
+    /// Per-warp round logs of all phases run since construction (only
+    /// populated when round logging is on).
+    pub logs: Vec<WarpPhaseLog>,
+    // Reusable scratch (one slot per lane of a warp).
+    shared_traces: Vec<Vec<SharedAcc>>,
+    global_traces: Vec<Vec<GlobalAcc>>,
+}
+
+impl<T: Copy + Default> BlockSim<T> {
+    /// New block: `u` threads, shared memory of `shared_len` words, warp
+    /// width / bank count from `banks`.
+    ///
+    /// # Panics
+    /// Panics if `u` is zero or not a multiple of the warp width.
+    #[must_use]
+    pub fn new(banks: BankModel, u: usize, shared_len: usize) -> Self {
+        let w = banks.num_banks as usize;
+        assert!(u > 0 && u.is_multiple_of(w), "u={u} must be a positive multiple of w={w}");
+        Self {
+            banks,
+            u,
+            shared: vec![T::default(); shared_len],
+            write_epoch: vec![0; shared_len],
+            write_lane: vec![u32::MAX; shared_len],
+            epoch: 0,
+            profile: KernelProfile::new(),
+            counting: true,
+            log_rounds: false,
+            logs: Vec::new(),
+            shared_traces: vec![Vec::new(); w],
+            global_traces: vec![Vec::new(); w],
+        }
+    }
+}
+
+impl<T: Copy> BlockSim<T> {
+    /// Warp width `w`.
+    #[must_use]
+    pub fn warp_width(&self) -> usize {
+        self.banks.num_banks as usize
+    }
+
+    /// Threads per block `u`.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.u
+    }
+
+    /// Number of warps `u / w`.
+    #[must_use]
+    pub fn warps(&self) -> usize {
+        self.u / self.warp_width()
+    }
+
+    /// Shared-memory size in words.
+    #[must_use]
+    pub fn shared_len(&self) -> usize {
+        self.shared.len()
+    }
+
+    /// Read-only view of shared memory (host-side inspection in tests).
+    #[must_use]
+    pub fn shared(&self) -> &[T] {
+        &self.shared
+    }
+
+    /// Disable access accounting (correctness-only fast path for very
+    /// large inputs). The race detector stays on.
+    pub fn set_counting(&mut self, on: bool) {
+        self.counting = on;
+    }
+
+    /// Enable per-round logging (used by the figure harness; costly).
+    pub fn set_round_logging(&mut self, on: bool) {
+        self.log_rounds = on;
+    }
+
+    /// Run one barrier-delimited phase. `body(tid, lane)` is invoked once
+    /// per thread; all its shared/global accesses are recorded and costed
+    /// under `class`.
+    pub fn phase<F>(&mut self, class: PhaseClass, mut body: F)
+    where
+        F: FnMut(usize, &mut LaneCtx<'_, T>),
+    {
+        self.epoch = self.epoch.wrapping_add(1);
+        let w = self.warp_width();
+        let warps = self.warps();
+        let mut alu_total = 0u64;
+
+        for warp in 0..warps {
+            for t in &mut self.shared_traces {
+                t.clear();
+            }
+            for t in &mut self.global_traces {
+                t.clear();
+            }
+            for lane in 0..w {
+                let tid = warp * w + lane;
+                let mut alu = 0u64;
+                {
+                    let mut ctx = LaneCtx {
+                        shared: &mut self.shared,
+                        write_epoch: &mut self.write_epoch,
+                        write_lane: &mut self.write_lane,
+                        epoch: self.epoch,
+                        tid: tid as u32,
+                        counting: self.counting,
+                        shared_trace: &mut self.shared_traces[lane],
+                        global_trace: &mut self.global_traces[lane],
+                        alu: &mut alu,
+                    };
+                    body(tid, &mut ctx);
+                }
+                alu_total += alu;
+            }
+            if self.counting {
+                self.account_warp(class, warp);
+            }
+        }
+        self.profile.phase_mut(class).alu_ops += alu_total;
+    }
+
+    /// Convenience: run a phase with no memory side effects, charging only
+    /// `alu` operations per thread (e.g. register-space sorting networks).
+    pub fn alu_phase(&mut self, class: PhaseClass, ops_per_thread: u64) {
+        self.profile.phase_mut(class).alu_ops += ops_per_thread * self.u as u64;
+    }
+
+    fn account_warp(&mut self, class: PhaseClass, warp: usize) {
+        let w = self.warp_width();
+        // --- shared memory rounds ---
+        let max_len = self.shared_traces.iter().map(Vec::len).max().unwrap_or(0);
+        let mut log_rounds: Vec<LoggedRound> = Vec::new();
+        let mut ld_buf: Vec<u32> = Vec::with_capacity(w);
+        let mut st_buf: Vec<u32> = Vec::with_capacity(w);
+        let mut ld_lanes: Vec<(u32, u32)> = Vec::new();
+        let mut st_lanes: Vec<(u32, u32)> = Vec::new();
+        for r in 0..max_len {
+            ld_buf.clear();
+            st_buf.clear();
+            if self.log_rounds {
+                ld_lanes.clear();
+                st_lanes.clear();
+            }
+            for (lane, trace) in self.shared_traces.iter().enumerate() {
+                if let Some(acc) = trace.get(r) {
+                    if acc.store {
+                        st_buf.push(acc.addr);
+                        if self.log_rounds {
+                            st_lanes.push((lane as u32, acc.addr));
+                        }
+                    } else {
+                        ld_buf.push(acc.addr);
+                        if self.log_rounds {
+                            ld_lanes.push((lane as u32, acc.addr));
+                        }
+                    }
+                }
+            }
+            let ld_cost = self.banks.round_cost(&ld_buf);
+            let st_cost = self.banks.round_cost(&st_buf);
+            if matches!(class, PhaseClass::Merge | PhaseClass::Gather)
+                && ld_cost.active_lanes > 0
+            {
+                self.profile.merge_degree_hist.record(ld_cost.transactions);
+            }
+            let c = self.profile.phase_mut(class);
+            if ld_cost.active_lanes > 0 {
+                c.shared_ld_requests += 1;
+                c.shared_ld_transactions += u64::from(ld_cost.transactions);
+            }
+            if st_cost.active_lanes > 0 {
+                c.shared_st_requests += 1;
+                c.shared_st_transactions += u64::from(st_cost.transactions);
+            }
+            if self.log_rounds {
+                log_rounds.push(LoggedRound {
+                    loads: ld_lanes.clone(),
+                    stores: st_lanes.clone(),
+                    ld_cost,
+                    st_cost,
+                });
+            }
+        }
+        if self.log_rounds && !log_rounds.is_empty() {
+            self.logs.push(WarpPhaseLog { class, warp, rounds: log_rounds });
+        }
+
+        // --- global memory rounds ---
+        let max_len = self.global_traces.iter().map(Vec::len).max().unwrap_or(0);
+        let mut gld: Vec<u64> = Vec::with_capacity(w);
+        let mut gst: Vec<u64> = Vec::with_capacity(w);
+        for r in 0..max_len {
+            gld.clear();
+            gst.clear();
+            for trace in &self.global_traces {
+                if let Some(acc) = trace.get(r) {
+                    if acc.store {
+                        gst.push(acc.idx);
+                    } else {
+                        gld.push(acc.idx);
+                    }
+                }
+            }
+            let c = self.profile.phase_mut(class);
+            if !gld.is_empty() {
+                c.global_ld_requests += 1;
+                c.global_ld_sectors += sectors_touched(&gld);
+            }
+            if !gst.is_empty() {
+                c.global_st_requests += 1;
+                c.global_st_sectors += sectors_touched(&gst);
+            }
+        }
+    }
+}
+
+/// Per-lane handle passed to phase bodies: the only way kernel code can
+/// touch memory, so every access is recorded.
+pub struct LaneCtx<'a, T: Copy> {
+    shared: &'a mut [T],
+    write_epoch: &'a mut [u32],
+    write_lane: &'a mut [u32],
+    epoch: u32,
+    tid: u32,
+    counting: bool,
+    shared_trace: &'a mut Vec<SharedAcc>,
+    global_trace: &'a mut Vec<GlobalAcc>,
+    alu: &'a mut u64,
+}
+
+impl<T: Copy> LaneCtx<'_, T> {
+    /// This thread's id within the block.
+    #[must_use]
+    pub fn tid(&self) -> usize {
+        self.tid as usize
+    }
+
+    /// Shared-memory load.
+    ///
+    /// # Panics
+    /// Panics if the word was written by a *different* lane in the same
+    /// phase (a missing-barrier race the hardware would not tolerate
+    /// either), or on out-of-bounds access.
+    #[must_use]
+    pub fn ld(&mut self, idx: usize) -> T {
+        assert!(
+            self.write_epoch[idx] != self.epoch || self.write_lane[idx] == self.tid,
+            "race: lane {} loads shared[{idx}] written by lane {} in the same phase \
+             (missing barrier)",
+            self.tid,
+            self.write_lane[idx],
+        );
+        if self.counting {
+            self.shared_trace.push(SharedAcc { addr: idx as u32, store: false });
+        }
+        self.shared[idx]
+    }
+
+    /// Shared-memory store.
+    ///
+    /// # Panics
+    /// Panics if another lane already wrote this word in the same phase.
+    pub fn st(&mut self, idx: usize, v: T) {
+        assert!(
+            self.write_epoch[idx] != self.epoch || self.write_lane[idx] == self.tid,
+            "race: lanes {} and {} both store shared[{idx}] in the same phase \
+             (missing barrier)",
+            self.write_lane[idx],
+            self.tid,
+        );
+        self.write_epoch[idx] = self.epoch;
+        self.write_lane[idx] = self.tid;
+        if self.counting {
+            self.shared_trace.push(SharedAcc { addr: idx as u32, store: true });
+        }
+        self.shared[idx] = v;
+    }
+
+    /// Global-memory load from a caller-provided array. The element index
+    /// `idx` is recorded for coalescing accounting.
+    #[must_use]
+    pub fn ld_global(&mut self, data: &[T], idx: usize) -> T {
+        if self.counting {
+            self.global_trace.push(GlobalAcc { idx: idx as u64, store: false });
+        }
+        data[idx]
+    }
+
+    /// Global-memory store into a caller-provided array.
+    pub fn st_global(&mut self, data: &mut [T], idx: usize, v: T) {
+        if self.counting {
+            self.global_trace.push(GlobalAcc { idx: idx as u64, store: true });
+        }
+        data[idx] = v;
+    }
+
+    /// Record the *traffic* of a global load at `idx` without moving
+    /// data — for kernels that stage their reads/writes outside the
+    /// engine (e.g. scatter kernels whose output buffer cannot be
+    /// mutably shared across concurrently simulated blocks).
+    pub fn mark_global_ld(&mut self, idx: usize) {
+        if self.counting {
+            self.global_trace.push(GlobalAcc { idx: idx as u64, store: false });
+        }
+    }
+
+    /// Record the traffic of a global store at `idx` without writing.
+    pub fn mark_global_st(&mut self, idx: usize) {
+        if self.counting {
+            self.global_trace.push(GlobalAcc { idx: idx as u64, store: true });
+        }
+    }
+
+    /// Charge `n` scalar ALU operations to this lane.
+    pub fn alu(&mut self, n: u64) {
+        *self.alu += n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn block(u: usize, w: u32, len: usize) -> BlockSim<u32> {
+        BlockSim::new(BankModel::new(w), u, len)
+    }
+
+    #[test]
+    fn unit_stride_store_then_load_is_conflict_free() {
+        let mut b = block(8, 8, 64);
+        b.phase(PhaseClass::LoadTile, |tid, lane| {
+            for r in 0..4 {
+                lane.st(r * 8 + tid, (r * 8 + tid) as u32);
+            }
+        });
+        b.phase(PhaseClass::Merge, |tid, lane| {
+            for r in 0..4 {
+                let v = lane.ld(r * 8 + tid);
+                assert_eq!(v, (r * 8 + tid) as u32);
+            }
+        });
+        let p = b.profile.total();
+        assert_eq!(p.shared_st_requests, 4);
+        assert_eq!(p.shared_st_transactions, 4);
+        assert_eq!(p.shared_ld_requests, 4);
+        assert_eq!(p.shared_ld_transactions, 4);
+        assert_eq!(b.profile.total_bank_conflicts(), 0);
+    }
+
+    #[test]
+    fn same_bank_column_scan_serializes() {
+        // All 8 lanes scan the same 8-element column (stride w) — the
+        // worst case: every round is an 8-way conflict.
+        let mut b = block(8, 8, 64);
+        b.phase(PhaseClass::LoadTile, |tid, lane| {
+            lane.st(tid, tid as u32); // seed something readable
+        });
+        b.phase(PhaseClass::Merge, |_tid, lane| {
+            for r in 0..8usize {
+                let _ = lane.ld(r * 8); // all lanes read word r*8 → same bank 0...
+            }
+        });
+        // Careful: all lanes read the SAME word each round → broadcast,
+        // zero conflicts. Use distinct words in one bank instead:
+        let mut b2 = block(8, 8, 64);
+        b2.phase(PhaseClass::Merge, |tid, lane| {
+            for r in 0..4usize {
+                let _ = lane.ld(((tid + r) % 8) * 8); // distinct words, all bank 0
+            }
+        });
+        assert_eq!(b.profile.merge_bank_conflicts(), 0);
+        let m = b2.profile.phase(PhaseClass::Merge);
+        assert_eq!(m.shared_ld_requests, 4);
+        assert_eq!(m.shared_ld_transactions, 32);
+        assert_eq!(b2.profile.merge_bank_conflicts(), 28);
+    }
+
+    #[test]
+    fn multi_warp_blocks_account_per_warp() {
+        // 2 warps of 4; each warp does one conflict-free round.
+        let mut b = block(8, 4, 32);
+        b.phase(PhaseClass::Gather, |tid, lane| {
+            let _ = lane.ld(tid % 4); // lanes of each warp read words 0..3
+        });
+        let g = b.profile.phase(PhaseClass::Gather);
+        assert_eq!(g.shared_ld_requests, 2); // one request per warp
+        assert_eq!(g.shared_ld_transactions, 2);
+    }
+
+    #[test]
+    fn cross_warp_same_phase_rw_is_allowed_only_with_barrier() {
+        // Writes in phase 1, reads in phase 2: fine even across warps.
+        let mut b = block(8, 4, 32);
+        b.phase(PhaseClass::LoadTile, |tid, lane| lane.st(tid, tid as u32 * 10));
+        b.phase(PhaseClass::Merge, |tid, lane| {
+            let v = lane.ld((tid + 4) % 8);
+            assert_eq!(v, (((tid + 4) % 8) * 10) as u32);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "missing barrier")]
+    fn same_phase_race_detected() {
+        let mut b = block(8, 8, 32);
+        b.phase(PhaseClass::Other, |tid, lane| {
+            lane.st(tid, 1);
+            if tid == 3 {
+                let _ = lane.ld(0); // written by lane 0 this phase
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "missing barrier")]
+    fn same_phase_write_write_race_detected() {
+        let mut b = block(8, 8, 32);
+        b.phase(PhaseClass::Other, |tid, lane| {
+            lane.st(5, tid as u32);
+        });
+    }
+
+    #[test]
+    fn same_lane_rmw_in_phase_is_fine() {
+        let mut b = block(8, 8, 32);
+        b.phase(PhaseClass::Other, |tid, lane| {
+            lane.st(tid, 7);
+            let v = lane.ld(tid);
+            lane.st(tid, v + 1);
+        });
+        assert_eq!(b.shared()[0], 8);
+    }
+
+    #[test]
+    fn global_coalescing_counted() {
+        let data: Vec<u32> = (0..256).collect();
+        let mut out = vec![0u32; 256];
+        let mut b = block(32, 32, 64);
+        b.phase(PhaseClass::LoadTile, |tid, lane| {
+            // Unit stride: 32 lanes × 2 rounds → 2 requests, 4 sectors each.
+            for r in 0..2 {
+                let v = lane.ld_global(&data, r * 32 + tid);
+                lane.st_global(&mut out, r * 32 + tid, v + 1);
+            }
+        });
+        let c = b.profile.phase(PhaseClass::LoadTile);
+        assert_eq!(c.global_ld_requests, 2);
+        assert_eq!(c.global_ld_sectors, 8);
+        assert_eq!(c.global_st_requests, 2);
+        assert_eq!(c.global_st_sectors, 8);
+        assert_eq!(out[33], 34);
+    }
+
+    #[test]
+    fn predicated_lanes_shorter_traces() {
+        // Odd lanes issue 1 load, even lanes 2: round 1 has 4 lanes.
+        let mut b = block(8, 8, 32);
+        b.phase(PhaseClass::Search, |tid, lane| {
+            let _ = lane.ld(tid);
+            if tid % 2 == 0 {
+                let _ = lane.ld(8 + tid);
+            }
+        });
+        let c = b.profile.phase(PhaseClass::Search);
+        assert_eq!(c.shared_ld_requests, 2);
+        assert_eq!(c.shared_ld_transactions, 2);
+    }
+
+    #[test]
+    fn counting_off_still_moves_data() {
+        let mut b = block(8, 8, 32);
+        b.set_counting(false);
+        b.phase(PhaseClass::LoadTile, |tid, lane| lane.st(tid, 42));
+        b.phase(PhaseClass::Merge, |tid, lane| {
+            assert_eq!(lane.ld(tid), 42);
+        });
+        assert_eq!(b.profile.total().shared_requests(), 0);
+    }
+
+    #[test]
+    fn round_log_captures_addresses() {
+        let mut b = block(4, 4, 16);
+        b.set_round_logging(true);
+        b.phase(PhaseClass::Gather, |tid, lane| {
+            let _ = lane.ld(tid);
+        });
+        assert_eq!(b.logs.len(), 1);
+        let log = &b.logs[0];
+        assert_eq!(log.rounds.len(), 1);
+        assert_eq!(log.rounds[0].loads.len(), 4);
+        assert_eq!(log.rounds[0].ld_cost.transactions, 1);
+    }
+
+    #[test]
+    fn alu_phase_charges_ops() {
+        let mut b = block(8, 8, 16);
+        b.alu_phase(PhaseClass::RegisterOps, 10);
+        assert_eq!(b.profile.phase(PhaseClass::RegisterOps).alu_ops, 80);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of w")]
+    fn non_multiple_block_rejected() {
+        let _ = block(10, 8, 16);
+    }
+}

@@ -1,0 +1,226 @@
+//! Small statistics helpers used by the experiment harness: running
+//! summaries and conflict-degree histograms.
+
+use serde::{Deserialize, Serialize};
+
+/// Incremental min/max/mean/variance (Welford) over `f64` samples.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Empty summary.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Add one sample.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean (0 if empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample standard deviation (0 for < 2 samples).
+    #[must_use]
+    pub fn stddev(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.n - 1) as f64).sqrt()
+        }
+    }
+
+    /// Smallest sample (`None` if empty).
+    #[must_use]
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Largest sample (`None` if empty).
+    #[must_use]
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+}
+
+/// Histogram of per-round transaction degrees (1 = conflict-free round,
+/// `w` = fully serialized). Used to reproduce Karsin et al.'s "2–3 bank
+/// conflicts per step on random inputs" observation with full
+/// distributional detail.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DegreeHistogram {
+    counts: Vec<u64>,
+}
+
+impl DegreeHistogram {
+    /// Histogram able to record degrees `0..=max_degree`.
+    #[must_use]
+    pub fn new(max_degree: u32) -> Self {
+        Self { counts: vec![0; max_degree as usize + 1] }
+    }
+
+    /// Record one round with the given transaction degree.
+    pub fn record(&mut self, degree: u32) {
+        if self.counts.is_empty() {
+            self.counts.resize(degree as usize + 1, 0);
+        }
+        if (degree as usize) >= self.counts.len() {
+            self.counts.resize(degree as usize + 1, 0);
+        }
+        self.counts[degree as usize] += 1;
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &DegreeHistogram) {
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (a, &b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Total rounds recorded.
+    #[must_use]
+    pub fn total_rounds(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Total conflicts (Σ (degree − 1) · count for degree ≥ 1).
+    #[must_use]
+    pub fn total_conflicts(&self) -> u64 {
+        self.counts
+            .iter()
+            .enumerate()
+            .skip(1)
+            .map(|(d, &c)| (d as u64 - 1) * c)
+            .sum()
+    }
+
+    /// Mean conflicts per round — the Karsin et al. statistic.
+    #[must_use]
+    pub fn mean_conflicts_per_round(&self) -> f64 {
+        let rounds = self.total_rounds();
+        if rounds == 0 {
+            0.0
+        } else {
+            self.total_conflicts() as f64 / rounds as f64
+        }
+    }
+
+    /// Fraction of rounds that were conflict-free (degree ≤ 1).
+    #[must_use]
+    pub fn conflict_free_fraction(&self) -> f64 {
+        let rounds = self.total_rounds();
+        if rounds == 0 {
+            return 1.0;
+        }
+        let free = self.counts.first().copied().unwrap_or(0)
+            + self.counts.get(1).copied().unwrap_or(0);
+        free as f64 / rounds as f64
+    }
+
+    /// Raw bucket counts, index = degree.
+    #[must_use]
+    pub fn buckets(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Highest degree observed, if any round was recorded.
+    #[must_use]
+    pub fn max_degree(&self) -> Option<u32> {
+        self.counts
+            .iter()
+            .rposition(|&c| c > 0)
+            .map(|d| d as u32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_stats_basics() {
+        let mut s = RunningStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), None);
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.stddev() - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn histogram_conflict_math() {
+        let mut h = DegreeHistogram::new(32);
+        // 10 conflict-free rounds, 5 rounds of degree 3, 1 round of 32.
+        for _ in 0..10 {
+            h.record(1);
+        }
+        for _ in 0..5 {
+            h.record(3);
+        }
+        h.record(32);
+        assert_eq!(h.total_rounds(), 16);
+        assert_eq!(h.total_conflicts(), 5 * 2 + 31);
+        assert!((h.mean_conflicts_per_round() - 41.0 / 16.0).abs() < 1e-12);
+        assert!((h.conflict_free_fraction() - 10.0 / 16.0).abs() < 1e-12);
+        assert_eq!(h.max_degree(), Some(32));
+    }
+
+    #[test]
+    fn histogram_merge_and_growth() {
+        let mut a = DegreeHistogram::new(4);
+        a.record(2);
+        let mut b = DegreeHistogram::new(8);
+        b.record(8);
+        b.record(2);
+        a.merge(&b);
+        assert_eq!(a.total_rounds(), 3);
+        assert_eq!(a.buckets()[2], 2);
+        assert_eq!(a.buckets()[8], 1);
+        // Recording past the current size grows the histogram.
+        a.record(20);
+        assert_eq!(a.max_degree(), Some(20));
+    }
+
+    #[test]
+    fn empty_histogram_is_conflict_free() {
+        let h = DegreeHistogram::new(32);
+        assert_eq!(h.mean_conflicts_per_round(), 0.0);
+        assert_eq!(h.conflict_free_fraction(), 1.0);
+        assert_eq!(h.max_degree(), None);
+    }
+}

@@ -1,0 +1,243 @@
+//! Cycle-level timing model: converts profiled access counts into
+//! simulated kernel runtimes.
+//!
+//! Absolute GPU runtimes cannot be measured off-GPU, so the model prices a
+//! kernel from its exact profiled counters via four throughput/latency
+//! terms and a documented set of constants ([`TimingModel`]):
+//!
+//! ```text
+//! global  = sector_bytes / (peak_bw · bw_eff · occupancy^γ)
+//! shared  = shared_transactions · c_tx / (SMs_busy · clock)
+//! latency = shared_requests · c_lat / (SMs_busy · resident_warps · clock)
+//! alu     = alu_ops / (SMs_busy · ipc · clock)
+//! time    = launch + max(terms) + β · (Σ other terms)
+//! ```
+//!
+//! * `shared` is the bank/LSU pipe: one transaction per cycle per SM, so
+//!   conflict replays consume pipe slots — this is the term the worst-case
+//!   inputs inflate.
+//! * `latency` charges the dependent-chain cost of serial merges (each
+//!   step's address depends on the previous load); it is divided by the
+//!   resident warp count because independent warps hide each other's
+//!   latency — this is how occupancy (the `E=15,u=512` vs `E=17,u=256`
+//!   difference) enters.
+//! * `bw_eff < 1` reflects that latency-bound sorting kernels do not reach
+//!   peak DRAM bandwidth; it degrades further at partial occupancy.
+//! * `β` accounts for imperfect overlap between the memory pipes.
+//!
+//! The constants are calibrated **once**, against published anchors (see
+//! DESIGN.md §5), and shared by every experiment in this repository; no
+//! per-experiment tuning.
+
+use crate::device::Device;
+use crate::occupancy::{occupancy, BlockResources, Occupancy};
+use crate::profiler::PhaseCounters;
+use serde::{Deserialize, Serialize};
+
+/// A kernel launch shape: grid size plus per-block resource demand.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LaunchConfig {
+    /// Number of thread blocks in the grid.
+    pub blocks: u64,
+    /// Per-block resources (threads, shared bytes, registers).
+    pub resources: BlockResources,
+}
+
+/// Timing-model constants. See module docs for the formula.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimingModel {
+    /// Fixed host-side launch overhead per kernel, seconds.
+    pub launch_overhead_s: f64,
+    /// Cycles one shared-memory transaction occupies an SM's LSU pipe.
+    pub shared_tx_cycles: f64,
+    /// Exposed latency cycles per dependent shared request (per warp).
+    pub shared_req_latency_cycles: f64,
+    /// Scalar ALU operations retired per cycle per SM.
+    pub alu_per_cycle_per_sm: f64,
+    /// Fraction of peak DRAM bandwidth achieved at 100% occupancy.
+    pub bw_efficiency_full: f64,
+    /// Bandwidth efficiency scales as `occupancy^γ`.
+    pub bw_occupancy_exponent: f64,
+    /// Fraction of the non-dominant terms *not* hidden behind the largest.
+    pub overlap_exposure: f64,
+}
+
+impl TimingModel {
+    /// Constants calibrated against the RTX 2080 Ti anchors in DESIGN.md
+    /// §5 (Thrust-on-random throughput; the ≈1.4× worst-case slowdown at
+    /// `E=15,u=512`; CF ≈ Thrust-on-random).
+    #[must_use]
+    pub fn rtx2080ti_like() -> Self {
+        Self {
+            launch_overhead_s: 3e-6,
+            shared_tx_cycles: 6.8,
+            shared_req_latency_cycles: 25.0,
+            alu_per_cycle_per_sm: 20.0,
+            bw_efficiency_full: 0.40,
+            bw_occupancy_exponent: 1.3,
+            overlap_exposure: 0.35,
+        }
+    }
+
+    /// Price one kernel launch from its aggregated counters.
+    #[must_use]
+    pub fn kernel_time(
+        &self,
+        dev: &Device,
+        totals: &PhaseCounters,
+        launch: &LaunchConfig,
+    ) -> TimeBreakdown {
+        let occ = occupancy(dev, &launch.resources);
+        let sms_busy = f64::from(dev.sm_count)
+            .min(launch.blocks as f64 / f64::from(occ.blocks_per_sm.max(1)))
+            .max(1.0);
+        let clock = dev.clock_hz;
+
+        let bytes = totals.global_sectors() as f64 * crate::global::SECTOR_BYTES as f64;
+        let bw_eff = self.bw_efficiency_full * occ.fraction.powf(self.bw_occupancy_exponent);
+        // Bandwidth also scales with the fraction of the chip occupied.
+        let chip_fraction = sms_busy / f64::from(dev.sm_count);
+        let global_s = if bytes == 0.0 {
+            0.0
+        } else {
+            bytes / (dev.mem_bandwidth * bw_eff * chip_fraction)
+        };
+
+        let shared_s =
+            totals.shared_transactions() as f64 * self.shared_tx_cycles / (sms_busy * clock);
+
+        let resident = f64::from(occ.warps_per_sm.max(1));
+        let latency_s = totals.shared_requests() as f64 * self.shared_req_latency_cycles
+            / (sms_busy * resident * clock);
+
+        let alu_s = totals.alu_ops as f64 / (sms_busy * self.alu_per_cycle_per_sm * clock);
+
+        let terms = [global_s, shared_s, latency_s, alu_s];
+        let dominant = terms.iter().cloned().fold(0.0, f64::max);
+        let rest: f64 = terms.iter().sum::<f64>() - dominant;
+        let seconds = self.launch_overhead_s + dominant + self.overlap_exposure * rest;
+
+        TimeBreakdown {
+            seconds,
+            global_s,
+            shared_s,
+            latency_s,
+            alu_s,
+            launch_s: self.launch_overhead_s,
+            occupancy: occ,
+        }
+    }
+}
+
+/// Priced kernel launch, with the individual model terms for reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimeBreakdown {
+    /// Total modeled runtime in seconds.
+    pub seconds: f64,
+    /// DRAM bandwidth term.
+    pub global_s: f64,
+    /// Shared-memory pipe term (grows with bank conflicts).
+    pub shared_s: f64,
+    /// Dependent-chain latency term.
+    pub latency_s: f64,
+    /// ALU throughput term.
+    pub alu_s: f64,
+    /// Fixed launch overhead.
+    pub launch_s: f64,
+    /// Occupancy achieved by the launch.
+    pub occupancy: Occupancy,
+}
+
+impl TimeBreakdown {
+    /// Which term dominated this launch (for reports).
+    #[must_use]
+    pub fn dominant(&self) -> &'static str {
+        let terms = [
+            (self.global_s, "global"),
+            (self.shared_s, "shared"),
+            (self.latency_s, "latency"),
+            (self.alu_s, "alu"),
+        ];
+        terms
+            .iter()
+            .cloned()
+            .max_by(|a, b| a.0.total_cmp(&b.0))
+            .map(|(_, n)| n)
+            .unwrap_or("none")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn launch(blocks: u64, u: u32, e: u32) -> LaunchConfig {
+        LaunchConfig {
+            blocks,
+            resources: BlockResources {
+                threads: u,
+                shared_bytes: u * e * 4,
+                regs_per_thread: crate::occupancy::mergesort_regs_estimate(e),
+            },
+        }
+    }
+
+    fn counters(tx: u64, req: u64, sectors: u64, alu: u64) -> PhaseCounters {
+        PhaseCounters {
+            shared_ld_requests: req,
+            shared_ld_transactions: tx,
+            global_ld_sectors: sectors,
+            alu_ops: alu,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn empty_kernel_costs_launch_overhead() {
+        let tm = TimingModel::rtx2080ti_like();
+        let dev = Device::rtx2080ti();
+        let t = tm.kernel_time(&dev, &PhaseCounters::default(), &launch(100, 512, 15));
+        assert!((t.seconds - tm.launch_overhead_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_conflicts_more_time() {
+        let tm = TimingModel::rtx2080ti_like();
+        let dev = Device::rtx2080ti();
+        let l = launch(10_000, 512, 15);
+        let base = tm.kernel_time(&dev, &counters(1_000_000, 1_000_000, 500_000, 0), &l);
+        let conflicted = tm.kernel_time(&dev, &counters(5_000_000, 1_000_000, 500_000, 0), &l);
+        assert!(conflicted.seconds > base.seconds);
+    }
+
+    #[test]
+    fn partial_occupancy_slows_bandwidth_bound_kernels() {
+        let tm = TimingModel::rtx2080ti_like();
+        let dev = Device::rtx2080ti();
+        let c = counters(1_000_000, 1_000_000, 50_000_000, 0);
+        let full = tm.kernel_time(&dev, &c, &launch(10_000, 512, 15)); // 100% occ
+        let partial = tm.kernel_time(&dev, &c, &launch(10_000, 256, 17)); // 75% occ
+        assert!(partial.seconds > full.seconds);
+        assert_eq!(full.dominant(), "global");
+    }
+
+    #[test]
+    fn small_grids_use_fewer_sms() {
+        let tm = TimingModel::rtx2080ti_like();
+        let dev = Device::rtx2080ti();
+        let c = counters(1_000_000, 1_000_000, 1_000_000, 0);
+        let small = tm.kernel_time(&dev, &c, &launch(2, 512, 15));
+        let big = tm.kernel_time(&dev, &c, &launch(1000, 512, 15));
+        assert!(small.seconds > big.seconds);
+    }
+
+    #[test]
+    fn breakdown_terms_are_finite_and_nonnegative() {
+        let tm = TimingModel::rtx2080ti_like();
+        let dev = Device::rtx2080ti();
+        let t = tm.kernel_time(&dev, &counters(10, 10, 10, 10), &launch(1, 32, 15));
+        for v in [t.global_s, t.shared_s, t.latency_s, t.alu_s, t.seconds] {
+            assert!(v.is_finite() && v >= 0.0);
+        }
+    }
+}

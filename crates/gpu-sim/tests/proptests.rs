@@ -1,0 +1,92 @@
+//! Property tests for the simulator's accounting invariants.
+
+use cfmerge_gpu_sim::banks::BankModel;
+use cfmerge_gpu_sim::block::BlockSim;
+use cfmerge_gpu_sim::global::{efficiency, sectors_touched};
+use cfmerge_gpu_sim::profiler::PhaseClass;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+proptest! {
+    /// round_cost equals the brute-force definition: max over banks of
+    /// the number of distinct words in that bank.
+    #[test]
+    fn prop_round_cost_matches_definition(
+        w in 1u32..=64,
+        addrs in proptest::collection::vec(0u32..512, 0..64),
+    ) {
+        let addrs: Vec<u32> = addrs.into_iter().take(w as usize).collect();
+        let m = BankModel::new(w);
+        let cost = m.round_cost(&addrs);
+        let mut per_bank: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); w as usize];
+        for &a in &addrs {
+            per_bank[(a % w) as usize].insert(a);
+        }
+        let expect = per_bank.iter().map(|s| s.len() as u32).max().unwrap_or(0);
+        prop_assert_eq!(cost.transactions, expect);
+        prop_assert_eq!(cost.conflicts, expect.saturating_sub(1));
+        prop_assert_eq!(cost.active_lanes as usize, addrs.len());
+    }
+
+    /// Transactions are invariant under lane permutation and under adding
+    /// a duplicate of an existing address (broadcast).
+    #[test]
+    fn prop_round_cost_permutation_and_broadcast_invariance(
+        mut addrs in proptest::collection::vec(0u32..256, 1..32),
+    ) {
+        let m = BankModel::nvidia();
+        let base = m.round_cost(&addrs).transactions;
+        addrs.reverse();
+        prop_assert_eq!(m.round_cost(&addrs).transactions, base);
+        let dup = addrs[0];
+        let mut with_dup = addrs.clone();
+        with_dup.push(dup);
+        prop_assert_eq!(m.round_cost(&with_dup).transactions, base);
+    }
+
+    /// Strided access cost is gcd(stride, w) — the classical fact behind
+    /// Thrust's coprime heuristic.
+    #[test]
+    fn prop_stride_cost_is_gcd(w in 1u32..=64, base in 0u32..128, stride in 1u32..=128) {
+        let m = BankModel::new(w);
+        let g = cfmerge_numtheory::gcd(u64::from(stride), u64::from(w)) as u32;
+        prop_assert_eq!(m.strided_cost(base, stride).transactions, g);
+    }
+
+    /// Sector accounting: between ceil(lanes/8) (perfect coalescing) and
+    /// lanes (fully scattered); efficiency in (0, 1].
+    #[test]
+    fn prop_sector_bounds(idx in proptest::collection::vec(0u64..(1 << 24), 1..32)) {
+        let distinct: BTreeSet<u64> = idx.iter().copied().collect();
+        let s = sectors_touched(&idx);
+        prop_assert!(s >= 1);
+        prop_assert!(s <= distinct.len() as u64);
+        let e = efficiency(&idx);
+        prop_assert!(e > 0.0 && e <= 1.0 + 1e-12);
+    }
+
+    /// The engine's ledger: a phase of per-lane unit-stride stores then
+    /// loads always produces transactions == requests (no conflicts), and
+    /// data round-trips.
+    #[test]
+    fn prop_unit_stride_phases_clean(warps in 1usize..=4, rounds in 1usize..=8) {
+        let w = 32usize;
+        let u = w * warps;
+        let mut block = BlockSim::<u32>::new(BankModel::nvidia(), u, u * rounds);
+        block.phase(PhaseClass::LoadTile, |tid, lane| {
+            for r in 0..rounds {
+                lane.st(r * u + tid, (r * u + tid) as u32);
+            }
+        });
+        block.phase(PhaseClass::Merge, |tid, lane| {
+            for r in 0..rounds {
+                let v = lane.ld(r * u + tid);
+                assert_eq!(v, (r * u + tid) as u32);
+            }
+        });
+        let t = block.profile.total();
+        prop_assert_eq!(t.shared_st_transactions, t.shared_st_requests);
+        prop_assert_eq!(t.shared_ld_transactions, t.shared_ld_requests);
+        prop_assert_eq!(t.shared_ld_requests as usize, rounds * warps);
+    }
+}

@@ -1,0 +1,169 @@
+//! CPU mergesorts built from the same primitives as the GPU pipelines.
+//!
+//! Two roles: a trusted *oracle* for the simulator pipelines' outputs, and
+//! a host-side baseline for the benchmark suite. The parallel variant uses
+//! exactly the GPU decomposition — merge-path partitioning into
+//! equal-output chunks merged independently — expressed with rayon, per
+//! this session's HPC guides.
+
+use crate::partition::partition_merge;
+use crate::serial::serial_merge_into;
+use rayon::prelude::*;
+
+/// Sequential bottom-up stable mergesort (two-buffer, no recursion).
+pub fn merge_sort_seq<T: Ord + Copy + Default>(v: &mut [T]) {
+    let n = v.len();
+    if n < 2 {
+        return;
+    }
+    let mut buf = vec![T::default(); n];
+    let mut src_is_v = true;
+    let mut width = 1usize;
+    while width < n {
+        {
+            let (src, dst): (&[T], &mut [T]) =
+                if src_is_v { (&*v, &mut buf) } else { (&buf, v) };
+            let mut lo = 0;
+            while lo < n {
+                let mid = (lo + width).min(n);
+                let hi = (lo + 2 * width).min(n);
+                serial_merge_into(&src[lo..mid], &src[mid..hi], &mut dst[lo..hi]);
+                lo = hi;
+            }
+        }
+        src_is_v = !src_is_v;
+        width *= 2;
+    }
+    if !src_is_v {
+        v.copy_from_slice(&buf);
+    }
+}
+
+/// Parallel merge-path mergesort: sorts base chunks in parallel, then
+/// merges pairs of runs level by level, each merge partitioned into
+/// `chunk`-output pieces processed independently (the GPU decomposition,
+/// on rayon).
+pub fn merge_sort_par<T: Ord + Copy + Default + Send + Sync>(v: &mut [T], chunk: usize) {
+    let n = v.len();
+    let chunk = chunk.max(1);
+    if n <= chunk {
+        v.sort();
+        return;
+    }
+    // Sort base runs of `chunk` elements in parallel.
+    v.par_chunks_mut(chunk).for_each(<[T]>::sort);
+
+    let mut buf = vec![T::default(); n];
+    let mut src_is_v = true;
+    let mut width = chunk;
+    while width < n {
+        {
+            let (src, dst): (&[T], &mut [T]) =
+                if src_is_v { (&*v, &mut buf) } else { (&buf, v) };
+            // Each pair of runs merges independently; within a pair, each
+            // `chunk`-output piece merges independently too.
+            let pair = 2 * width;
+            let tasks: Vec<(usize, usize, usize)> = (0..n)
+                .step_by(pair)
+                .map(|lo| (lo, (lo + width).min(n), (lo + pair).min(n)))
+                .collect();
+            // Fan out over (pair, piece) work items.
+            let pieces: Vec<(usize, usize, usize, usize, usize, usize)> = tasks
+                .iter()
+                .flat_map(|&(lo, mid, hi)| {
+                    partition_merge(&src[lo..mid], &src[mid..hi], chunk)
+                        .into_iter()
+                        .map(move |c| {
+                            (
+                                lo + c.a_begin,
+                                lo + c.a_end,
+                                mid + c.b_begin,
+                                mid + c.b_end,
+                                lo + c.out_begin,
+                                c.len(),
+                            )
+                        })
+                })
+                .collect();
+            // Safety-free parallel writes: split dst by disjoint ranges.
+            // We process pieces in parallel by chunking the output slice.
+            let mut slots: Vec<&mut [T]> = Vec::with_capacity(pieces.len());
+            let mut rest = dst;
+            let mut cursor = 0usize;
+            for &(_, _, _, _, out_b, len) in &pieces {
+                debug_assert_eq!(out_b, cursor);
+                let (head, tail) = rest.split_at_mut(len);
+                slots.push(head);
+                rest = tail;
+                cursor += len;
+            }
+            pieces
+                .par_iter()
+                .zip(slots.into_par_iter())
+                .for_each(|(&(a_b, a_e, b_b, b_e, _, _), slot)| {
+                    serial_merge_into(&src[a_b..a_e], &src[b_b..b_e], slot);
+                });
+        }
+        src_is_v = !src_is_v;
+        width = pair_width(width, n);
+    }
+    if !src_is_v {
+        v.copy_from_slice(&buf);
+    }
+}
+
+fn pair_width(width: usize, n: usize) -> usize {
+    // Avoid overflow on pathological sizes.
+    width.saturating_mul(2).min(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn seq_sorts() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(21);
+        for n in [0usize, 1, 2, 3, 17, 100, 1023, 4096] {
+            let mut v: Vec<u32> = (0..n).map(|_| rng.gen_range(0..1000)).collect();
+            let mut expect = v.clone();
+            expect.sort_unstable();
+            merge_sort_seq(&mut v);
+            assert_eq!(v, expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn par_sorts_many_shapes() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(22);
+        for n in [0usize, 1, 5, 64, 100, 1000, 10_000] {
+            for chunk in [1usize, 7, 64, 480] {
+                let mut v: Vec<u32> = (0..n).map(|_| rng.gen()).collect();
+                let mut expect = v.clone();
+                expect.sort_unstable();
+                merge_sort_par(&mut v, chunk);
+                assert_eq!(v, expect, "n={n} chunk={chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn par_sorts_adversarial_patterns() {
+        for n in [511usize, 512, 513] {
+            // Already sorted, reversed, all-equal, sawtooth.
+            let patterns: Vec<Vec<u32>> = vec![
+                (0..n as u32).collect(),
+                (0..n as u32).rev().collect(),
+                vec![7; n],
+                (0..n as u32).map(|i| i % 10).collect(),
+            ];
+            for mut v in patterns {
+                let mut expect = v.clone();
+                expect.sort_unstable();
+                merge_sort_par(&mut v, 97);
+                assert_eq!(v, expect);
+            }
+        }
+    }
+}

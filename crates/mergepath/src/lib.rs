@@ -1,0 +1,33 @@
+//! # cfmerge-mergepath — merge path partitioning and merge primitives
+//!
+//! The algorithmic substrate beneath both mergesort pipelines in this
+//! repository:
+//!
+//! * [`diagonal`] — the *merge path* order-statistic search of Green,
+//!   McColl & Bader (2012): given two sorted sequences and an output rank,
+//!   a mutual binary search finds the unique stable split in `O(log n)`
+//!   time. Thrust's mergesort uses it at two levels (global and shared);
+//!   so do we.
+//! * [`partition`] — equal-output-size partitioning of a merge into
+//!   independent `(Aᵢ, Bᵢ)` chunks.
+//! * [`serial`] — the per-thread stable serial merge, plus an instrumented
+//!   variant that reports its consumption pattern (used to validate the
+//!   worst-case construction of Section 4).
+//! * [`networks`] — data-oblivious sorting/merging networks (odd-even
+//!   transposition, Batcher odd-even merge) used for register-space
+//!   processing, with exact compare-exchange counts for the timing model.
+//! * [`cpu`] — sequential and rayon-parallel CPU mergesorts built from the
+//!   same pieces: the correctness oracle and a CPU baseline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cpu;
+pub mod diagonal;
+pub mod networks;
+pub mod partition;
+pub mod serial;
+
+pub use diagonal::merge_path;
+pub use partition::{partition_merge, MergeChunk};
+pub use serial::serial_merge;

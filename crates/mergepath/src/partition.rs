@@ -1,0 +1,157 @@
+//! Partitioning a merge into equal-output chunks.
+//!
+//! Thrust's mergesort partitions every merge twice: once in global memory
+//! (one chunk per thread block, `u·E` outputs each) and once in shared
+//! memory (one chunk per thread, `E` outputs each). Both reduce to the
+//! same operation: cut the merge path at every multiple of the chunk size.
+
+use crate::diagonal::merge_path;
+
+/// One chunk of a partitioned merge: the `i`-th chunk merges
+/// `a[a_begin..a_end]` with `b[b_begin..b_end]` to produce outputs
+/// `[out_begin, out_begin + len)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MergeChunk {
+    /// First A index consumed by this chunk (the paper's `aᵢ`).
+    pub a_begin: usize,
+    /// One past the last A index.
+    pub a_end: usize,
+    /// First B index consumed (the paper's `bᵢ`).
+    pub b_begin: usize,
+    /// One past the last B index.
+    pub b_end: usize,
+    /// Output rank of the chunk's first element.
+    pub out_begin: usize,
+}
+
+impl MergeChunk {
+    /// Elements consumed from A (`|Aᵢ|`).
+    #[must_use]
+    pub fn a_len(&self) -> usize {
+        self.a_end - self.a_begin
+    }
+
+    /// Elements consumed from B (`|Bᵢ|`).
+    #[must_use]
+    pub fn b_len(&self) -> usize {
+        self.b_end - self.b_begin
+    }
+
+    /// Total outputs produced (`|Aᵢ| + |Bᵢ|`).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.a_len() + self.b_len()
+    }
+
+    /// Whether the chunk is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Cut the stable merge of `a` and `b` into chunks of `chunk` outputs each
+/// (the final chunk may be shorter).
+///
+/// # Panics
+/// Panics if `chunk == 0`.
+#[must_use]
+pub fn partition_merge<T: Ord>(a: &[T], b: &[T], chunk: usize) -> Vec<MergeChunk> {
+    assert!(chunk > 0, "chunk size must be positive");
+    let total = a.len() + b.len();
+    let chunks = total.div_ceil(chunk);
+    let mut out = Vec::with_capacity(chunks);
+    let mut prev_diag = 0usize;
+    let mut prev_x = 0usize;
+    for c in 1..=chunks {
+        let diag = (c * chunk).min(total);
+        let x = merge_path(a, b, diag);
+        out.push(MergeChunk {
+            a_begin: prev_x,
+            a_end: x,
+            b_begin: prev_diag - prev_x,
+            b_end: diag - x,
+            out_begin: prev_diag,
+        });
+        prev_diag = diag;
+        prev_x = x;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_partition(a: &[u32], b: &[u32], chunk: usize) {
+        let parts = partition_merge(a, b, chunk);
+        let total = a.len() + b.len();
+        assert_eq!(parts.len(), total.div_ceil(chunk));
+        // Chunks tile both inputs exactly, in order, with full chunks of
+        // the requested size except possibly the last.
+        let mut a_pos = 0;
+        let mut b_pos = 0;
+        let mut out_pos = 0;
+        for (i, p) in parts.iter().enumerate() {
+            assert_eq!(p.a_begin, a_pos);
+            assert_eq!(p.b_begin, b_pos);
+            assert_eq!(p.out_begin, out_pos);
+            let expect = if i + 1 == parts.len() { total - out_pos } else { chunk };
+            assert_eq!(p.len(), expect);
+            a_pos = p.a_end;
+            b_pos = p.b_end;
+            out_pos += p.len();
+        }
+        assert_eq!(a_pos, a.len());
+        assert_eq!(b_pos, b.len());
+        // Merging the chunks independently reproduces the full merge.
+        let mut merged = Vec::with_capacity(total);
+        for p in &parts {
+            crate::serial::serial_merge(
+                &a[p.a_begin..p.a_end],
+                &b[p.b_begin..p.b_end],
+                &mut merged,
+            );
+        }
+        let mut expect: Vec<u32> = a.iter().chain(b).copied().collect();
+        expect.sort_unstable();
+        assert_eq!(merged, expect);
+    }
+
+    #[test]
+    fn partitions_tile_inputs() {
+        let a: Vec<u32> = (0..37).map(|i| i * 3).collect();
+        let b: Vec<u32> = (0..23).map(|i| i * 5).collect();
+        for chunk in [1, 2, 5, 15, 17, 60, 100] {
+            check_partition(&a, &b, chunk);
+        }
+    }
+
+    #[test]
+    fn skewed_inputs() {
+        let a: Vec<u32> = (0..64).collect();
+        let b: Vec<u32> = (1000..1004).collect();
+        check_partition(&a, &b, 16);
+        check_partition(&b, &a, 16);
+        check_partition(&a, &[], 16);
+        check_partition(&[], &a, 16);
+    }
+
+    #[test]
+    fn duplicate_heavy_inputs() {
+        let a = vec![5u32; 40];
+        let b = vec![5u32; 24];
+        let parts = partition_merge(&a, &b, 8);
+        // Stability: all of A must be consumed before any tie from B.
+        assert_eq!(parts[0], MergeChunk { a_begin: 0, a_end: 8, b_begin: 0, b_end: 0, out_begin: 0 });
+        let x_total: usize = parts.iter().map(MergeChunk::a_len).sum();
+        assert_eq!(x_total, 40);
+        check_partition(&a, &b, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size must be positive")]
+    fn zero_chunk_panics() {
+        let _ = partition_merge::<u32>(&[], &[], 0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property tests for the merge-path substrate.
+
+use cfmerge_mergepath::cpu::{merge_sort_par, merge_sort_seq};
+use cfmerge_mergepath::diagonal::{merge_path, merge_path_steps};
+use cfmerge_mergepath::networks::{batcher_sort, oets_sort};
+use cfmerge_mergepath::partition::partition_merge;
+use cfmerge_mergepath::serial::{serial_merge, serial_merge_traced, Took};
+use proptest::prelude::*;
+
+fn two_sorted() -> impl Strategy<Value = (Vec<u32>, Vec<u32>)> {
+    (
+        proptest::collection::vec(0u32..100, 0..80),
+        proptest::collection::vec(0u32..100, 0..80),
+    )
+        .prop_map(|(mut a, mut b)| {
+            a.sort_unstable();
+            b.sort_unstable();
+            (a, b)
+        })
+}
+
+proptest! {
+    /// Chunked merges concatenate to the full stable merge, for any chunk
+    /// size.
+    #[test]
+    fn prop_partition_concatenates((a, b) in two_sorted(), chunk in 1usize..40) {
+        let mut whole = Vec::new();
+        serial_merge(&a, &b, &mut whole);
+        let mut chunked = Vec::new();
+        for c in partition_merge(&a, &b, chunk) {
+            serial_merge(&a[c.a_begin..c.a_end], &b[c.b_begin..c.b_end], &mut chunked);
+        }
+        prop_assert_eq!(whole, chunked);
+    }
+
+    /// merge_path is monotone in the diagonal and bounded by it.
+    #[test]
+    fn prop_merge_path_monotone((a, b) in two_sorted()) {
+        let mut prev = 0usize;
+        for diag in 0..=a.len() + b.len() {
+            let x = merge_path(&a, &b, diag);
+            prop_assert!(x >= prev);
+            prop_assert!(x <= diag && diag - x <= b.len());
+            prop_assert!(x - prev <= 1, "split advances by at most one per diagonal");
+            prev = x;
+        }
+    }
+
+    /// The search predicate count never exceeds the advertised bound.
+    #[test]
+    fn prop_merge_path_steps_bound(a_len in 0usize..200, b_len in 0usize..200, diag_frac in 0.0f64..=1.0) {
+        let diag = ((a_len + b_len) as f64 * diag_frac) as usize;
+        let lo = diag.saturating_sub(b_len);
+        let hi = diag.min(a_len);
+        let mut range = hi - lo;
+        let mut iters = 0u32;
+        while range > 0 { range /= 2; iters += 1; }
+        prop_assert_eq!(merge_path_steps(diag, a_len, b_len), iters);
+    }
+
+    /// The traced merge's consumption pattern reconstructs the output.
+    #[test]
+    fn prop_trace_reconstructs((a, b) in two_sorted()) {
+        let (out, trace) = serial_merge_traced(&a, &b);
+        let (mut i, mut j) = (0usize, 0usize);
+        let mut rebuilt = Vec::with_capacity(out.len());
+        for t in &trace {
+            match t {
+                Took::A => { rebuilt.push(a[i]); i += 1; }
+                Took::B => { rebuilt.push(b[j]); j += 1; }
+            }
+        }
+        prop_assert_eq!(rebuilt, out);
+    }
+
+    /// Networks and CPU sorts all agree with std.
+    #[test]
+    fn prop_all_sorts_agree(v in proptest::collection::vec(any::<u32>(), 0..300)) {
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        let mut s1 = v.clone();
+        merge_sort_seq(&mut s1);
+        prop_assert_eq!(&s1, &expect);
+        let mut s2 = v.clone();
+        merge_sort_par(&mut s2, 32);
+        prop_assert_eq!(&s2, &expect);
+        if v.len() <= 64 {
+            let mut s3 = v.clone();
+            oets_sort(&mut s3);
+            prop_assert_eq!(&s3, &expect);
+            let mut s4 = v.clone();
+            batcher_sort(&mut s4);
+            prop_assert_eq!(&s4, &expect);
+        }
+    }
+
+    /// Stability of the sequential mergesort, checked via key-tagged
+    /// pairs ordered by key only.
+    #[test]
+    fn prop_seq_mergesort_is_stable(keys in proptest::collection::vec(0u8..8, 0..200)) {
+        #[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+        struct Tagged(u8, u32);
+        impl PartialOrd for Tagged {
+            fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> { Some(self.cmp(o)) }
+        }
+        impl Ord for Tagged {
+            fn cmp(&self, o: &Self) -> std::cmp::Ordering { self.0.cmp(&o.0) }
+        }
+        let v: Vec<Tagged> =
+            keys.iter().enumerate().map(|(i, &k)| Tagged(k, i as u32)).collect();
+        let mut sorted = v.clone();
+        merge_sort_seq(&mut sorted);
+        // Equal keys keep their original (tag) order.
+        for w in sorted.windows(2) {
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "stability violated: {:?}", w);
+            }
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Euclid's division lemma (Lemma 9) and floor/Euclidean modulo helpers.
+//!
+//! The worst-case input construction of Section 4 repeatedly decomposes the
+//! warp width as `w = qE + r` with `0 <= r < E`; the gather indexing of
+//! Algorithm 1 needs a modulo that behaves sanely on negative operands
+//! (`k - j - 1 (mod E)` can be negative in machine arithmetic). Both live
+//! here.
+
+/// Euclid's division lemma (Lemma 9): for `b > 0`, the unique `(q, r)` with
+/// `a = q*b + r` and `0 <= r < b`.
+///
+/// # Panics
+/// Panics if `b == 0`.
+///
+/// ```
+/// use cfmerge_numtheory::division::euclid_div;
+/// assert_eq!(euclid_div(32, 15), (2, 2)); // w = 32, E = 15: q = 2, r = 2
+/// assert_eq!(euclid_div(32, 17), (1, 15));
+/// assert_eq!(euclid_div(-7, 3), (-3, 2));
+/// ```
+#[must_use]
+pub fn euclid_div(a: i64, b: i64) -> (i64, i64) {
+    assert!(b > 0, "euclid_div requires a positive divisor, got {b}");
+    (a.div_euclid(b), a.rem_euclid(b))
+}
+
+/// Euclidean (always non-negative) remainder: `a mod m` with result in
+/// `[0, m)`.
+///
+/// # Panics
+/// Panics if `m == 0`.
+#[must_use]
+pub fn mod_floor(a: i64, m: i64) -> i64 {
+    assert!(m > 0, "mod_floor requires a positive modulus, got {m}");
+    a.rem_euclid(m)
+}
+
+/// `mod_floor` for `usize` indices offset by a possibly-negative delta.
+///
+/// Computes `(base as i64 + delta) mod m` in `[0, m)` and converts back to
+/// `usize`. This is the shape of every index expression in Algorithm 1.
+#[must_use]
+pub fn offset_mod(base: usize, delta: i64, m: usize) -> usize {
+    debug_assert!(m > 0);
+    (base as i64 + delta).rem_euclid(m as i64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclid_div_unique_decomposition() {
+        for a in -200i64..200 {
+            for b in 1i64..40 {
+                let (q, r) = euclid_div(a, b);
+                assert_eq!(q * b + r, a);
+                assert!((0..b).contains(&r));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive divisor")]
+    fn euclid_div_zero_divisor_panics() {
+        let _ = euclid_div(5, 0);
+    }
+
+    #[test]
+    fn mod_floor_negative_operands() {
+        assert_eq!(mod_floor(-1, 5), 4);
+        assert_eq!(mod_floor(-5, 5), 0);
+        assert_eq!(mod_floor(-6, 5), 4);
+        assert_eq!(mod_floor(7, 5), 2);
+        assert_eq!(mod_floor(0, 5), 0);
+    }
+
+    #[test]
+    fn offset_mod_matches_paper_index_shapes() {
+        // k - j - 1 (mod E) from Algorithm 1, with k = 0, j = 0, E = 5:
+        assert_eq!(offset_mod(0, -1, 5), 4);
+        // j - k (mod E) with j = 1, k = 3, E = 5:
+        assert_eq!(offset_mod(1, -3, 5), 3);
+        assert_eq!(offset_mod(4, 1, 5), 0);
+    }
+}

@@ -1,0 +1,242 @@
+//! Number-theoretic toolkit underlying bank-conflict-free GPU algorithms.
+//!
+//! This crate codifies Appendix A of *Eliminating Bank Conflicts in GPU
+//! Mergesort* (Berney & Sitchinava, SPAA 2025): Euclid's division lemma,
+//! greatest common divisors, modular inverses, and **complete residue
+//! systems** — the machinery used in Sections 3 and 4 of the paper to prove
+//! that the load-balanced dual subsequence gather issues every shared-memory
+//! bank exactly once per round.
+//!
+//! The paper-facing highlights are:
+//!
+//! * [`gcd`], [`extended_gcd`], [`are_coprime`] — Definitions 10–12,
+//!   Corollaries 17–18.
+//! * [`mod_inverse`] — Definition 15 / Corollary 16.
+//! * [`residue::is_complete_residue_system`] and the paper's concrete
+//!   residue families [`residue::r_j`], [`residue::r_j_ell`],
+//!   [`residue::d_ell`], [`residue::r_prime_j`] — Definition 13, Lemma 1,
+//!   Lemma 2, Corollary 3.
+//! * [`division::euclid_div`] — Lemma 9, used by the worst-case input
+//!   construction of Section 4 (`w = qE + r`).
+//!
+//! Everything is implemented for plain machine integers (the quantities in
+//! play — warp width `w`, elements per thread `E` — are tiny), with the
+//! emphasis on *correctness as executable mathematics*: each lemma in the
+//! paper has a corresponding function or property test.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod division;
+pub mod modular;
+pub mod residue;
+
+/// Greatest common divisor of `a` and `b` (Definition 10).
+///
+/// By convention `gcd(0, 0) == 0`; otherwise the result is the unique
+/// positive integer dividing both arguments that every common divisor
+/// divides (Theorem 11).
+///
+/// ```
+/// use cfmerge_numtheory::gcd;
+/// assert_eq!(gcd(32, 15), 1); // Thrust's coprime heuristic: E = 15, w = 32
+/// assert_eq!(gcd(32, 12), 4);
+/// assert_eq!(gcd(9, 6), 3);   // the paper's Figure 3 example
+/// ```
+#[must_use]
+pub fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    a
+}
+
+/// Least common multiple of `a` and `b`, or `None` on overflow.
+///
+/// `lcm(0, 0)` is defined as `Some(0)`.
+#[must_use]
+pub fn lcm(a: u64, b: u64) -> Option<u64> {
+    if a == 0 || b == 0 {
+        return Some(0);
+    }
+    (a / gcd(a, b)).checked_mul(b)
+}
+
+/// Whether `a` and `b` are coprime (Definition 12), i.e. `gcd(a, b) == 1`.
+///
+/// The Thrust mergesort heuristic the paper discusses is exactly "choose
+/// `E` such that `are_coprime(E, w)`".
+#[must_use]
+pub fn are_coprime(a: u64, b: u64) -> bool {
+    gcd(a, b) == 1
+}
+
+/// Extended Euclidean algorithm.
+///
+/// Returns `(g, x, y)` with `g = gcd(a, b)` and `a*x + b*y == g` (Bézout
+/// coefficients). All arithmetic is in `i128` so that no intermediate
+/// product of two `i64` inputs can overflow.
+///
+/// ```
+/// use cfmerge_numtheory::extended_gcd;
+/// let (g, x, y) = extended_gcd(240, 46);
+/// assert_eq!(g, 2);
+/// assert_eq!(240 * x + 46 * y, 2);
+/// ```
+#[must_use]
+pub fn extended_gcd(a: i64, b: i64) -> (i64, i128, i128) {
+    let (mut old_r, mut r) = (i128::from(a), i128::from(b));
+    let (mut old_s, mut s) = (1i128, 0i128);
+    let (mut old_t, mut t) = (0i128, 1i128);
+    while r != 0 {
+        let q = old_r / r;
+        (old_r, r) = (r, old_r - q * r);
+        (old_s, s) = (s, old_s - q * s);
+        (old_t, t) = (t, old_t - q * t);
+    }
+    if old_r < 0 {
+        (old_r, old_s, old_t) = (-old_r, -old_s, -old_t);
+    }
+    (old_r as i64, old_s, old_t)
+}
+
+/// Modular inverse of `a` modulo `m` (Definition 15 / Corollary 16).
+///
+/// Returns `Some(b)` with `a*b ≡ 1 (mod m)` and `0 <= b < m` iff
+/// `gcd(a, m) == 1`; otherwise `None`. Corollary 16 guarantees uniqueness,
+/// which the property tests exercise.
+#[must_use]
+pub fn mod_inverse(a: u64, m: u64) -> Option<u64> {
+    if m == 0 {
+        return None;
+    }
+    if m == 1 {
+        return Some(0);
+    }
+    let (g, x, _) = extended_gcd((a % m) as i64, m as i64);
+    if g != 1 {
+        return None;
+    }
+    Some(x.rem_euclid(i128::from(m)) as u64)
+}
+
+/// Corollary 17: for `a = q*b + r`, `gcd(a, b) == gcd(b, r)`.
+///
+/// Exposed as a checkable predicate (used by the worst-case construction
+/// tests, where `w = qE + r` and `d = gcd(w, E) = gcd(E, r)`).
+#[must_use]
+pub fn corollary17_holds(a: u64, b: u64) -> bool {
+    if b == 0 {
+        return true;
+    }
+    let r = a % b;
+    gcd(a, b) == gcd(b, r)
+}
+
+/// Corollary 18: dividing out the GCD leaves coprime values,
+/// `gcd(a/d, b/d) == 1` where `d = gcd(a, b)`.
+#[must_use]
+pub fn corollary18_holds(a: u64, b: u64) -> bool {
+    let d = gcd(a, b);
+    if d == 0 {
+        return true;
+    }
+    are_coprime(a / d, b / d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gcd_basics() {
+        assert_eq!(gcd(0, 0), 0);
+        assert_eq!(gcd(0, 7), 7);
+        assert_eq!(gcd(7, 0), 7);
+        assert_eq!(gcd(1, 1), 1);
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(18, 12), 6);
+        assert_eq!(gcd(17, 32), 1);
+        assert_eq!(gcd(15, 32), 1);
+        assert_eq!(gcd(16, 32), 16);
+    }
+
+    #[test]
+    fn gcd_paper_parameters() {
+        // The two software parameter sets evaluated in Section 5 are both
+        // coprime with w = 32, which is why only the coprime gather variant
+        // is needed for the headline experiments.
+        assert!(are_coprime(15, 32));
+        assert!(are_coprime(17, 32));
+        // The Figure 3 example is deliberately non-coprime.
+        assert_eq!(gcd(9, 6), 3);
+        // The Figure 8 example: u = 18, w = 6, E = 4, d = 2.
+        assert_eq!(gcd(6, 4), 2);
+    }
+
+    #[test]
+    fn lcm_basics() {
+        assert_eq!(lcm(0, 0), Some(0));
+        assert_eq!(lcm(0, 5), Some(0));
+        assert_eq!(lcm(4, 6), Some(12));
+        assert_eq!(lcm(32, 15), Some(480));
+        assert_eq!(lcm(u64::MAX, 2), None);
+    }
+
+    #[test]
+    fn extended_gcd_bezout() {
+        for &(a, b) in &[(240i64, 46i64), (35, 15), (1, 1), (0, 5), (5, 0), (17, 32)] {
+            let (g, x, y) = extended_gcd(a, b);
+            assert_eq!(g as u64, gcd(a.unsigned_abs(), b.unsigned_abs()));
+            assert_eq!(i128::from(a) * x + i128::from(b) * y, i128::from(g));
+        }
+    }
+
+    #[test]
+    fn extended_gcd_negative_inputs() {
+        let (g, x, y) = extended_gcd(-240, 46);
+        assert_eq!(g, 2);
+        assert_eq!(-240i128 * x + 46 * y, 2);
+        let (g, x, y) = extended_gcd(240, -46);
+        assert_eq!(g, 2);
+        assert_eq!(240i128 * x - 46 * y, 2);
+    }
+
+    #[test]
+    fn mod_inverse_exists_iff_coprime() {
+        assert_eq!(mod_inverse(3, 7), Some(5));
+        assert_eq!(mod_inverse(15, 32), Some(15)); // 15*15 = 225 = 7*32 + 1
+        assert_eq!(mod_inverse(6, 9), None);
+        assert_eq!(mod_inverse(0, 5), None);
+        assert_eq!(mod_inverse(4, 0), None);
+        assert_eq!(mod_inverse(42, 1), Some(0));
+    }
+
+    #[test]
+    fn mod_inverse_is_inverse() {
+        for m in 2u64..60 {
+            for a in 1..m {
+                match mod_inverse(a, m) {
+                    Some(b) => {
+                        assert!(are_coprime(a, m));
+                        assert_eq!(a * b % m, 1, "a={a} m={m} b={b}");
+                        assert!(b < m);
+                    }
+                    None => assert!(!are_coprime(a, m)),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corollaries_hold_on_grid() {
+        for a in 0u64..120 {
+            for b in 0u64..120 {
+                assert!(corollary17_holds(a, b), "cor17 a={a} b={b}");
+                assert!(corollary18_holds(a, b), "cor18 a={a} b={b}");
+            }
+        }
+    }
+}

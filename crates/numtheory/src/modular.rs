@@ -1,0 +1,145 @@
+//! Congruence arithmetic helpers (Definitions 13–15 support code).
+//!
+//! Small, explicit operations on residues used by the residue-system
+//! constructions in [`crate::residue`] and by the gather/worst-case code in
+//! the core crate.
+
+/// Whether `a ≡ b (mod m)`.
+///
+/// # Panics
+/// Panics if `m == 0`.
+#[must_use]
+pub fn congruent(a: i64, b: i64, m: u64) -> bool {
+    assert!(m > 0, "congruence modulus must be positive");
+    a.rem_euclid(m as i64) == b.rem_euclid(m as i64)
+}
+
+/// Modular addition on canonical residues: `(a + b) mod m`, inputs reduced
+/// first so callers may pass arbitrary values.
+#[must_use]
+pub fn add_mod(a: u64, b: u64, m: u64) -> u64 {
+    assert!(m > 0);
+    ((a % m) + (b % m)) % m
+}
+
+/// Modular subtraction on canonical residues: `(a - b) mod m` in `[0, m)`.
+#[must_use]
+pub fn sub_mod(a: u64, b: u64, m: u64) -> u64 {
+    assert!(m > 0);
+    ((a % m) + m - (b % m)) % m
+}
+
+/// Modular multiplication via `u128` widening (no overflow for any `u64`).
+#[must_use]
+pub fn mul_mod(a: u64, b: u64, m: u64) -> u64 {
+    assert!(m > 0);
+    ((u128::from(a) * u128::from(b)) % u128::from(m)) as u64
+}
+
+/// Modular exponentiation by repeated squaring.
+#[must_use]
+pub fn pow_mod(mut base: u64, mut exp: u64, m: u64) -> u64 {
+    assert!(m > 0);
+    if m == 1 {
+        return 0;
+    }
+    let mut acc = 1u64;
+    base %= m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = mul_mod(acc, base, m);
+        }
+        base = mul_mod(base, base, m);
+        exp >>= 1;
+    }
+    acc
+}
+
+/// Solve the linear congruence `a·x ≡ b (mod m)`.
+///
+/// Returns the set of canonical solutions in `[0, m)`; there are exactly
+/// `g = gcd(a, m)` of them when `g | b`, and none otherwise. This is the
+/// classical theorem behind Lemma 1's "stride coprime with `w` visits every
+/// bank" argument: for coprime `a`, every target residue is hit exactly
+/// once.
+#[must_use]
+pub fn solve_linear_congruence(a: u64, b: u64, m: u64) -> Vec<u64> {
+    assert!(m > 0);
+    let g = crate::gcd(a % m, m);
+    let g = if g == 0 { m } else { g };
+    if !b.is_multiple_of(g) {
+        return Vec::new();
+    }
+    let m_red = m / g;
+    let a_red = (a % m) / g;
+    let b_red = (b % m) / g;
+    // a_red is coprime with m_red (Corollary 18), so it has an inverse.
+    let inv = crate::mod_inverse(a_red % m_red.max(1), m_red.max(1)).unwrap_or(0);
+    let x0 = mul_mod(inv, b_red % m_red.max(1), m_red.max(1));
+    (0..g).map(|k| x0 + k * m_red).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn congruence_basics() {
+        assert!(congruent(5, 17, 12));
+        assert!(congruent(-7, 5, 12));
+        assert!(!congruent(5, 16, 12));
+        assert!(congruent(0, 0, 1));
+    }
+
+    #[test]
+    fn add_sub_mul_mod() {
+        assert_eq!(add_mod(10, 7, 12), 5);
+        assert_eq!(sub_mod(3, 7, 12), 8);
+        assert_eq!(sub_mod(7, 3, 12), 4);
+        assert_eq!(mul_mod(u64::MAX, u64::MAX, 97), {
+            let big = u128::from(u64::MAX) * u128::from(u64::MAX);
+            (big % 97) as u64
+        });
+    }
+
+    #[test]
+    fn pow_mod_matches_naive() {
+        for base in 0u64..8 {
+            for exp in 0u64..10 {
+                for m in 1u64..20 {
+                    let mut naive = 1 % m;
+                    for _ in 0..exp {
+                        naive = naive * base % m;
+                    }
+                    assert_eq!(pow_mod(base, exp, m), naive, "b={base} e={exp} m={m}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn linear_congruence_solution_counts() {
+        // 3x ≡ 6 (mod 12): g = 3 divides 6 → 3 solutions {2, 6, 10}.
+        let sols = solve_linear_congruence(3, 6, 12);
+        assert_eq!(sols, vec![2, 6, 10]);
+        // 3x ≡ 5 (mod 12): g = 3 does not divide 5 → no solutions.
+        assert!(solve_linear_congruence(3, 5, 12).is_empty());
+        // 5x ≡ 1 (mod 12): coprime stride → unique solution.
+        let sols = solve_linear_congruence(5, 1, 12);
+        assert_eq!(sols, vec![5]);
+    }
+
+    #[test]
+    fn linear_congruence_solutions_verify() {
+        for a in 0u64..15 {
+            for b in 0u64..15 {
+                for m in 1u64..15 {
+                    for x in solve_linear_congruence(a, b, m) {
+                        assert!(x < m);
+                        assert_eq!(mul_mod(a, x, m), b % m, "a={a} b={b} m={m} x={x}");
+                    }
+                }
+            }
+        }
+    }
+}

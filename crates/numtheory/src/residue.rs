@@ -1,0 +1,249 @@
+//! Complete residue systems (Definition 13) and the concrete residue
+//! families of Sections 3.1–3.2.
+//!
+//! The bank-conflict-freedom proofs in the paper all reduce to showing that
+//! the set of shared-memory addresses touched by one warp in one round is a
+//! *complete residue system modulo `w`* — i.e. it hits each of the `w`
+//! memory banks exactly once. This module provides the generic predicate
+//! plus constructors for every residue family the paper names:
+//!
+//! * [`r_j`] — `R_j = { j + kE : 0 ≤ k < w }` (Lemma 1; a CRS iff
+//!   `gcd(w, E) = 1`).
+//! * [`r_j_ell`] — `R_j^(ℓ)`, the `ℓ`-th of `d` partitions of `R_j`
+//!   (Lemma 2).
+//! * [`d_ell`] — `D_ℓ = { ℓ + kd : 0 ≤ k < w/d }` (the residue classes each
+//!   partition lands in).
+//! * [`r_prime_j`] — `R'_j`, the circularly re-aligned union that Corollary 3
+//!   proves to be a CRS for *any* `d = gcd(w, E)`.
+
+use crate::gcd;
+
+/// Whether `set` is a complete residue system modulo `m` (Definition 13):
+/// exactly `m` elements, pairwise incongruent (equivalently: their residues
+/// cover `{0, …, m-1}`).
+#[must_use]
+pub fn is_complete_residue_system(set: &[i64], m: u64) -> bool {
+    if m == 0 || set.len() != m as usize {
+        return false;
+    }
+    let mut seen = vec![false; m as usize];
+    for &x in set {
+        let r = x.rem_euclid(m as i64) as usize;
+        if seen[r] {
+            return false;
+        }
+        seen[r] = true;
+    }
+    true
+}
+
+/// The residues (mod `m`) of `set`, sorted — handy in tests and debugging.
+#[must_use]
+pub fn residues(set: &[i64], m: u64) -> Vec<u64> {
+    assert!(m > 0);
+    let mut v: Vec<u64> = set.iter().map(|&x| x.rem_euclid(m as i64) as u64).collect();
+    v.sort_unstable();
+    v
+}
+
+/// `R_j = { j + kE : 0 ≤ k < w }` — the addresses touched in round `j` by a
+/// warp whose threads are staggered at stride `E` (Lemma 1).
+///
+/// Lemma 1: this is a complete residue system modulo `w` iff
+/// `gcd(w, E) = 1`.
+#[must_use]
+pub fn r_j(j: i64, e: u64, w: u64) -> Vec<i64> {
+    (0..w as i64).map(|k| j + k * e as i64).collect()
+}
+
+/// `R_j^(ℓ) = { j + (ℓw/d + k)E : 0 ≤ k < w/d }` — the `ℓ`-th of the `d`
+/// partitions of `R_j` used in the non-coprime analysis (Section 3.2).
+///
+/// # Panics
+/// Panics unless `ℓ < d` and `d == gcd(w, E)`.
+#[must_use]
+pub fn r_j_ell(j: i64, ell: u64, e: u64, w: u64) -> Vec<i64> {
+    let d = gcd(w, e);
+    assert!(d > 0 && ell < d, "partition index {ell} out of range for d={d}");
+    let wd = (w / d) as i64;
+    (0..wd)
+        .map(|k| j + (i64::try_from(ell).unwrap() * wd + k) * e as i64)
+        .collect()
+}
+
+/// `D_ℓ = { ℓ + kd : 0 ≤ k < w/d }` — the arithmetic progression of
+/// residues with common difference `d` starting at `ℓ` (Section 3.2).
+#[must_use]
+pub fn d_ell(ell: u64, d: u64, w: u64) -> Vec<i64> {
+    assert!(d > 0 && w.is_multiple_of(d));
+    (0..(w / d) as i64).map(|k| ell as i64 + k * d as i64).collect()
+}
+
+/// `R'_j = R_j^(0) ∪ R_{j+1 mod E}^(1) ∪ … ∪ R_{j+d-1 mod E}^(d-1)` — the
+/// circularly re-aligned round set of Corollary 3, a complete residue
+/// system modulo `w` for **any** `d = gcd(w, E)`.
+#[must_use]
+pub fn r_prime_j(j: i64, e: u64, w: u64) -> Vec<i64> {
+    let d = gcd(w, e);
+    assert!(d > 0, "w and E must be positive");
+    let e_i = e as i64;
+    let mut out = Vec::with_capacity(w as usize);
+    for ell in 0..d {
+        let j_shift = (j + ell as i64).rem_euclid(e_i);
+        out.extend(r_j_ell(j_shift, ell, e, w));
+    }
+    out
+}
+
+/// Checks both parts of Lemma 2 for the partition `R_j^(ℓ)`:
+/// (1) every element is congruent (mod `w`) to some element of `D_{j'}`
+/// where `j' = j mod d`, and (2) elements are pairwise incongruent.
+#[must_use]
+pub fn lemma2_holds(j: i64, ell: u64, e: u64, w: u64) -> bool {
+    let d = gcd(w, e);
+    let part = r_j_ell(j, ell, e, w);
+    let target = d_ell(j.rem_euclid(d as i64) as u64, d, w);
+    let target_res: Vec<u64> = residues(&target, w);
+    // (1) containment of residues
+    for &x in &part {
+        let r = x.rem_euclid(w as i64) as u64;
+        if !target_res.contains(&r) {
+            return false;
+        }
+    }
+    // (2) pairwise incongruent
+    let mut rs = residues(&part, w);
+    rs.dedup();
+    rs.len() == part.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corollary14_canonical_residues() {
+        // Z_m = {0, …, m−1} is a complete residue system for every m.
+        for m in 1u64..=64 {
+            let set: Vec<i64> = (0..m as i64).collect();
+            assert!(is_complete_residue_system(&set, m));
+        }
+    }
+
+    #[test]
+    fn crs_predicate_basics() {
+        assert!(is_complete_residue_system(&[0, 1, 2, 3], 4));
+        assert!(is_complete_residue_system(&[4, 9, 14, 19], 4)); // 0,1,2,3
+        assert!(is_complete_residue_system(&[-1, 0, 1, 2], 4));
+        assert!(!is_complete_residue_system(&[0, 1, 2], 4)); // too small
+        assert!(!is_complete_residue_system(&[0, 4, 2, 3], 4)); // 0 repeated
+        assert!(!is_complete_residue_system(&[], 0));
+    }
+
+    #[test]
+    fn lemma1_coprime_stride_is_crs() {
+        // Figure 1 left: w = 12, stride 5 (coprime) → CRS.
+        assert!(is_complete_residue_system(&r_j(0, 5, 12), 12));
+        // Figure 1 right: stride 6 (not coprime) → not a CRS.
+        assert!(!is_complete_residue_system(&r_j(0, 6, 12), 12));
+        // Paper's main parameters: E = 15 and 17 vs w = 32.
+        for j in 0..17 {
+            assert!(is_complete_residue_system(&r_j(j, 15, 32), 32));
+            assert!(is_complete_residue_system(&r_j(j, 17, 32), 32));
+        }
+    }
+
+    #[test]
+    fn lemma1_exhaustive_small_grid() {
+        for w in 1u64..=24 {
+            for e in 1u64..=24 {
+                for j in -3i64..8 {
+                    let crs = is_complete_residue_system(&r_j(j, e, w), w);
+                    assert_eq!(
+                        crs,
+                        crate::are_coprime(w, e),
+                        "w={w} E={e} j={j}: Lemma 1 iff condition violated"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn d_ell_union_is_crs() {
+        // D = ∪ D_ℓ is a complete residue system (observation before
+        // Lemma 2).
+        for (w, e) in [(12u64, 6u64), (9, 6), (32, 12), (8, 8)] {
+            let d = gcd(w, e);
+            let mut all = Vec::new();
+            for ell in 0..d {
+                all.extend(d_ell(ell, d, w));
+            }
+            assert!(is_complete_residue_system(&all, w), "w={w} d={d}");
+        }
+    }
+
+    #[test]
+    fn lemma2_grid() {
+        for w in 2u64..=18 {
+            for e in 2u64..=18 {
+                let d = gcd(w, e);
+                for j in 0..e as i64 {
+                    for ell in 0..d {
+                        assert!(lemma2_holds(j, ell, e, w), "w={w} E={e} j={j} ℓ={ell}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corollary3_r_prime_is_crs() {
+        // The paper's Figure 3 parameters: w = 9, E = 6, d = 3.
+        for j in 0..6 {
+            assert!(is_complete_residue_system(&r_prime_j(j, 6, 9), 9));
+        }
+        // Figure 8 parameters: w = 6, E = 4, d = 2.
+        for j in 0..4 {
+            assert!(is_complete_residue_system(&r_prime_j(j, 4, 6), 6));
+        }
+        // Exhaustive small grid, including coprime (d = 1) where R'_j = R_j.
+        for w in 1u64..=20 {
+            for e in 1u64..=20 {
+                for j in 0..e as i64 {
+                    assert!(
+                        is_complete_residue_system(&r_prime_j(j, e, w), w),
+                        "w={w} E={e} j={j}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lemma4_gap_structure() {
+        // Lemma 4: consecutive partitions' boundary gap is E+1 except at
+        // the wrap (j = E-1) where it is 1.
+        for (w, e) in [(9u64, 6u64), (12, 8), (16, 12), (20, 15)] {
+            let d = gcd(w, e);
+            if d < 2 {
+                continue;
+            }
+            for j in 0..e as i64 {
+                for ell in 0..d - 1 {
+                    let a = *r_j_ell(j, ell, e, w).last().unwrap();
+                    let jn = (j + 1).rem_euclid(e as i64);
+                    let b = r_j_ell(jn, ell + 1, e, w)[0];
+                    let expected = if j < e as i64 - 1 { e as i64 + 1 } else { 1 };
+                    assert_eq!(b - a, expected, "w={w} E={e} j={j} ℓ={ell}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn r_j_ell_rejects_bad_partition() {
+        let _ = r_j_ell(0, 3, 6, 9); // d = 3, ℓ must be < 3
+    }
+}

@@ -1,0 +1,50 @@
+//! Quickstart: sort on the simulated GPU with both pipelines and compare
+//! their bank-conflict profiles.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use cfmerge::prelude::*;
+use cfmerge::core::sort::SortAlgorithm::{CfMerge, ThrustMergesort};
+use cfmerge::gpu_sim::profiler::PhaseClass;
+
+fn main() {
+    // 1 M uniform random keys, the paper's preferred software parameters
+    // (E = 15 elements/thread, u = 512 threads/block) on an RTX 2080 Ti
+    // model.
+    let config = SortConfig::paper_e15_u512();
+    let n = 1 << 20;
+    let input = InputSpec::UniformRandom { seed: 42 }.generate(n);
+
+    println!("sorting {n} keys with both pipelines …\n");
+    for (algo, name) in [(ThrustMergesort, "Thrust baseline"), (CfMerge, "CF-Merge")] {
+        let run = simulate_sort(&input, algo, &config);
+        assert!(run.output.is_sorted());
+
+        println!("{name}:");
+        println!("  simulated time : {:.3} ms", run.simulated_seconds * 1e3);
+        println!("  throughput     : {:.0} elements/µs", run.throughput());
+        println!(
+            "  bank conflicts : {} total, {} while merging ({:.2} per merge step)",
+            run.profile.total_bank_conflicts(),
+            run.profile.merge_bank_conflicts(),
+            run.conflicts_per_merge_round(),
+        );
+        let merge = run.profile.phase(PhaseClass::Merge);
+        let gather = run.profile.phase(PhaseClass::Gather);
+        println!(
+            "  merge phase    : {} requests → {} transactions; gather phase: {} → {}",
+            merge.shared_ld_requests,
+            merge.shared_ld_transactions,
+            gather.shared_ld_requests,
+            gather.shared_ld_transactions,
+        );
+        println!("  kernels        : {} launches", run.kernels.len());
+        println!();
+    }
+
+    println!(
+        "CF-Merge replaces the data-dependent serial merge with the load-balanced\n\
+         dual subsequence gather: its merge-phase transactions equal its requests —\n\
+         zero bank conflicts, on every input."
+    );
+}

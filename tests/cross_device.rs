@@ -1,0 +1,76 @@
+//! Device-independence of the paper's qualitative conclusions: the
+//! gather stays conflict-free and CF-Merge stays worst-case-immune on a
+//! very different device (A100-class Ampere), not just the paper's
+//! RTX 2080 Ti.
+
+use cfmerge::core::inputs::InputSpec;
+use cfmerge::core::params::SortParams;
+use cfmerge::core::sort::{simulate_sort, SortAlgorithm, SortConfig};
+use cfmerge::gpu_sim::device::Device;
+use cfmerge::gpu_sim::occupancy::{mergesort_regs_estimate, occupancy, BlockResources};
+use cfmerge::gpu_sim::timing::TimingModel;
+
+fn ampere_cfg(params: SortParams) -> SortConfig {
+    SortConfig {
+        params,
+        device: Device::a100_like(),
+        timing: TimingModel::rtx2080ti_like(),
+        count_accesses: true,
+    }
+}
+
+#[test]
+fn conclusions_hold_on_ampere_class_device() {
+    let params = SortParams::e15_u512();
+    let cfg = ampere_cfg(params);
+    let n = 16 * params.tile();
+    let worst = InputSpec::worst_case(params).generate(n);
+    let random = InputSpec::UniformRandom { seed: 0xA100 }.generate(n);
+
+    let tw = simulate_sort(&worst, SortAlgorithm::ThrustMergesort, &cfg);
+    let tr = simulate_sort(&random, SortAlgorithm::ThrustMergesort, &cfg);
+    let cw = simulate_sort(&worst, SortAlgorithm::CfMerge, &cfg);
+    let cr = simulate_sort(&random, SortAlgorithm::CfMerge, &cfg);
+
+    // Conflict counts are device-independent for fixed w = 32 (exact,
+    // not modeled): same attack, same immunity.
+    assert!(tw.profile.merge_bank_conflicts() > 2 * tr.profile.merge_bank_conflicts());
+    assert_eq!(cw.profile.merge_bank_conflicts(), 0);
+    assert_eq!(cr.profile.merge_bank_conflicts(), 0);
+
+    // Modeled ordering: the baseline still loses on worst case; CF is
+    // still input-independent.
+    assert!(tw.simulated_seconds > tr.simulated_seconds);
+    let ratio = cw.simulated_seconds / cr.simulated_seconds;
+    assert!((0.9..1.1).contains(&ratio), "CF worst/random on Ampere: {ratio}");
+    assert_eq!(tw.output, cw.output);
+}
+
+#[test]
+fn occupancy_landscape_shifts_across_devices() {
+    // The E=17,u=256 configuration is shared-memory-limited to 75% on
+    // the 2080 Ti but fully occupiable on an A100-class part (bigger
+    // carve-out) — parameter tuning is device-specific, which is why the
+    // paper reports E/u pairs per device.
+    let res = |params: SortParams| BlockResources {
+        threads: params.u as u32,
+        shared_bytes: params.shared_bytes(),
+        regs_per_thread: mergesort_regs_estimate(params.e as u32),
+    };
+    let p = SortParams::e17_u256();
+    let turing = occupancy(&Device::rtx2080ti(), &res(p));
+    let ampere = occupancy(&Device::a100_like(), &res(p));
+    assert!(turing.fraction < 0.8);
+    assert_eq!(
+        turing.limiter,
+        cfmerge::gpu_sim::occupancy::Limiter::SharedMemory,
+        "on Turing the 17 KiB tile is the binding resource"
+    );
+    assert_ne!(
+        ampere.limiter,
+        cfmerge::gpu_sim::occupancy::Limiter::SharedMemory,
+        "the 164 KiB carve-out removes the shared-memory limit on Ampere \
+         (the register file binds instead)"
+    );
+    assert!(ampere.fraction >= turing.fraction);
+}

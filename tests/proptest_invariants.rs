@@ -1,0 +1,138 @@
+//! Property-based tests over the core invariants, with proptest driving
+//! the shapes: arbitrary warp widths, `E`, block sizes, merge-path
+//! splits, and key distributions.
+
+use cfmerge::core::gather::{CfLayout, GatherSchedule, ThreadSplit};
+use cfmerge::core::params::SortParams;
+use cfmerge::core::sort::{simulate_sort, SortAlgorithm, SortConfig};
+use cfmerge::mergepath::diagonal::merge_path;
+use cfmerge::mergepath::networks::{batcher_sort, oets_ops, oets_sort};
+use cfmerge::numtheory::residue::{is_complete_residue_system, r_prime_j};
+use proptest::prelude::*;
+
+/// A random merge-path-shaped split set: per-thread `a_len ∈ [0, E]`.
+fn splits_strategy(u: usize, e: usize) -> impl Strategy<Value = Vec<ThreadSplit>> {
+    proptest::collection::vec(0..=e, u).prop_map(move |lens| {
+        let mut out = Vec::with_capacity(lens.len());
+        let mut a = 0usize;
+        for len in lens {
+            out.push(ThreadSplit { a_begin: a, a_len: len });
+            a += len;
+        }
+        out
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Corollary 3 as a property: R'_j is a complete residue system for
+    /// every (w, E, j).
+    #[test]
+    fn prop_r_prime_is_crs(w in 1u64..=48, e in 1u64..=48, j in 0i64..48) {
+        let j = j % e as i64;
+        prop_assert!(is_complete_residue_system(&r_prime_j(j, e, w), w));
+    }
+
+    /// The gather schedule never produces a bank conflict in any round,
+    /// for random (w, E, warps) and random splits — the paper's Theorem
+    /// (Sections 3.1–3.3) as an executable property.
+    #[test]
+    fn prop_gather_conflict_free(
+        params in (2usize..=32, 1usize..=6).prop_flat_map(|(w, warps)| {
+            (Just(w), 1usize..=w, Just(warps))
+        }).prop_flat_map(|(w, e, warps)| {
+            (Just(w), Just(e), Just(warps), splits_strategy(w * warps, e))
+        })
+    ) {
+        let (w, e, warps, splits) = params;
+        let u = w * warps;
+        let a_total = splits.last().map_or(0, |s| s.a_begin + s.a_len);
+        let layout = CfLayout::new(w, e, u * e, a_total);
+        for v in 0..warps {
+            for j in 0..e {
+                let mut seen = vec![false; w];
+                for lane in 0..w {
+                    let tid = v * w + lane;
+                    let slot = GatherSchedule::new(layout, tid, splits[tid]).round(j).slot();
+                    let bank = slot % w;
+                    prop_assert!(!seen[bank], "w={w} E={e} warp={v} round={j} bank={bank}");
+                    seen[bank] = true;
+                }
+            }
+        }
+    }
+
+    /// Every thread's register array covers its (A_i, B_i) exactly once.
+    #[test]
+    fn prop_gather_is_load_balanced(
+        params in (2usize..=24).prop_flat_map(|w| (Just(w), 1usize..=w))
+            .prop_flat_map(|(w, e)| (Just(w), Just(e), splits_strategy(w, e)))
+    ) {
+        let (w, e, splits) = params;
+        let a_total = splits.last().map_or(0, |s| s.a_begin + s.a_len);
+        let layout = CfLayout::new(w, e, w * e, a_total);
+        let mut touched = vec![false; w * e];
+        for (tid, &sp) in splits.iter().enumerate() {
+            let sched = GatherSchedule::new(layout, tid, sp);
+            for j in 0..e {
+                let slot = sched.round(j).slot();
+                prop_assert!(!touched[slot]);
+                touched[slot] = true;
+            }
+        }
+        prop_assert!(touched.iter().all(|&t| t));
+    }
+
+    /// Sorting networks sort anything (beyond the exhaustive 0-1 tests).
+    #[test]
+    fn prop_networks_sort(mut v in proptest::collection::vec(any::<u32>(), 0..80)) {
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        let mut v2 = v.clone();
+        let ops = oets_sort(&mut v);
+        prop_assert_eq!(&v, &expect);
+        prop_assert_eq!(ops, oets_ops(v.len()));
+        batcher_sort(&mut v2);
+        prop_assert_eq!(&v2, &expect);
+    }
+
+    /// merge_path splits are consistent: recombining prefixes reproduces
+    /// the stable merge.
+    #[test]
+    fn prop_merge_path_prefix(
+        mut a in proptest::collection::vec(0u32..50, 0..60),
+        mut b in proptest::collection::vec(0u32..50, 0..60),
+        frac in 0.0f64..=1.0,
+    ) {
+        a.sort_unstable();
+        b.sort_unstable();
+        let diag = ((a.len() + b.len()) as f64 * frac) as usize;
+        let x = merge_path(&a, &b, diag);
+        // All of a[..x] must be ≤ every element of b[diag-x..] and vice
+        // versa (the defining property of the split).
+        if x > 0 && diag - x < b.len() {
+            prop_assert!(a[x - 1] <= b[diag - x]);
+        }
+        if diag - x > 0 && x < a.len() {
+            prop_assert!(b[diag - x - 1] < a[x]);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Full-pipeline property: both simulated sorts equal std's sort for
+    /// arbitrary inputs and a small parameter set.
+    #[test]
+    fn prop_pipelines_sort(input in proptest::collection::vec(any::<u32>(), 0..2000)) {
+        let cfg = SortConfig::with_params(SortParams::new(5, 32));
+        let mut expect = input.clone();
+        expect.sort_unstable();
+        for algo in [SortAlgorithm::ThrustMergesort, SortAlgorithm::CfMerge] {
+            let run = simulate_sort(&input, algo, &cfg);
+            prop_assert_eq!(&run.output, &expect);
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Larger-scale stress tests. These run with access counting disabled
+//! (pure correctness) so they stay fast enough for CI; the `--ignored`
+//! one exercises a paper-scale size.
+
+use cfmerge::core::inputs::InputSpec;
+use cfmerge::core::params::SortParams;
+use cfmerge::core::sort::{simulate_sort, SortAlgorithm, SortConfig};
+
+fn fast_cfg(params: SortParams) -> SortConfig {
+    let mut cfg = SortConfig::with_params(params);
+    cfg.count_accesses = false;
+    cfg
+}
+
+#[test]
+fn quarter_million_keys_both_pipelines() {
+    let n = 1 << 18;
+    let input = InputSpec::UniformRandom { seed: 0x57E5 }.generate(n);
+    let mut expect = input.clone();
+    expect.sort_unstable();
+    for algo in [SortAlgorithm::ThrustMergesort, SortAlgorithm::CfMerge] {
+        let run = simulate_sort(&input, algo, &fast_cfg(SortParams::e15_u512()));
+        assert_eq!(run.output, expect, "{algo:?}");
+    }
+}
+
+#[test]
+fn worst_case_input_at_scale_still_sorts() {
+    let params = SortParams::e15_u512();
+    let n = 64 * params.tile();
+    let input = InputSpec::worst_case(params).generate(n);
+    let run = simulate_sort(&input, SortAlgorithm::ThrustMergesort, &fast_cfg(params));
+    assert_eq!(run.output, (0..n as u32).collect::<Vec<_>>());
+}
+
+/// Paper-scale size (n = 2^21·15 ≈ 31M keys would take minutes even
+/// uncounted; 2^20·15 ≈ 15.7M is a solid stress point). Run with
+/// `cargo test --release -- --ignored`.
+#[test]
+#[ignore = "multi-minute at debug opt levels; run in release"]
+fn sixteen_million_keys() {
+    let params = SortParams::e15_u512();
+    let n = (1 << 20) * params.e;
+    let input = InputSpec::UniformRandom { seed: 0xB16 }.generate(n);
+    let mut expect = input.clone();
+    expect.sort_unstable();
+    let run = simulate_sort(&input, SortAlgorithm::CfMerge, &fast_cfg(params));
+    assert_eq!(run.output, expect);
+}
