@@ -13,6 +13,7 @@
 //! mergesort beyond small `n` despite their beautiful regularity (the
 //! asymptotic `log n` extra factor being the other).
 
+use crate::parallel::*;
 use cfmerge_core::sort::key::SortKey;
 use cfmerge_gpu_sim::banks::BankModel;
 use cfmerge_gpu_sim::block::BlockSim;
@@ -20,7 +21,6 @@ use cfmerge_gpu_sim::device::Device;
 use cfmerge_gpu_sim::occupancy::BlockResources;
 use cfmerge_gpu_sim::profiler::{KernelProfile, PhaseClass};
 use cfmerge_gpu_sim::timing::{LaunchConfig, TimingModel};
-use rayon::prelude::*;
 
 /// Result of a simulated bitonic sort.
 #[derive(Debug, Clone)]
@@ -67,7 +67,10 @@ pub fn bitonic_sort<K: SortKey>(
     count_accesses: bool,
 ) -> BitonicRun<K> {
     let w = device.warp_width as usize;
-    assert!(u.is_power_of_two() && u % w == 0, "u={u} must be a power-of-two multiple of w={w}");
+    assert!(
+        u.is_power_of_two() && u.is_multiple_of(w),
+        "u={u} must be a power-of-two multiple of w={w}"
+    );
     let banks = device.bank_model();
     let n = input.len();
     if n == 0 {
@@ -247,13 +250,8 @@ mod tests {
     fn sort(n: usize, seed: u64) -> BitonicRun<u32> {
         let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
         let input: Vec<u32> = (0..n).map(|_| rng.gen()).collect();
-        let run = bitonic_sort(
-            &input,
-            128,
-            &Device::rtx2080ti(),
-            &TimingModel::rtx2080ti_like(),
-            true,
-        );
+        let run =
+            bitonic_sort(&input, 128, &Device::rtx2080ti(), &TimingModel::rtx2080ti_like(), true);
         let mut expect = input;
         expect.sort_unstable();
         assert_eq!(run.output, expect, "n={n}");
@@ -296,13 +294,8 @@ mod tests {
         let mut input: Vec<u32> = (0..2048u32).collect();
         let mirror: Vec<u32> = (0..2048u32).rev().collect();
         input.extend(mirror);
-        let run = bitonic_sort(
-            &input,
-            64,
-            &Device::rtx2080ti(),
-            &TimingModel::rtx2080ti_like(),
-            false,
-        );
+        let run =
+            bitonic_sort(&input, 64, &Device::rtx2080ti(), &TimingModel::rtx2080ti_like(), false);
         assert!(run.output.is_sorted());
     }
 }

@@ -13,13 +13,13 @@
 //!   the fundamental tax radix pays per pass, measured exactly by the
 //!   32-byte-sector model.
 
+use crate::parallel::*;
 use cfmerge_gpu_sim::banks::BankModel;
 use cfmerge_gpu_sim::block::BlockSim;
 use cfmerge_gpu_sim::device::Device;
 use cfmerge_gpu_sim::occupancy::BlockResources;
 use cfmerge_gpu_sim::profiler::{KernelProfile, PhaseClass};
 use cfmerge_gpu_sim::timing::{LaunchConfig, TimingModel};
-use rayon::prelude::*;
 
 /// Bits sorted per pass.
 pub const RADIX_BITS: u32 = 4;
@@ -97,7 +97,10 @@ pub fn radix_sort_with(
     scatter: ScatterKind,
 ) -> RadixRun {
     let w = device.warp_width as usize;
-    assert!(u.is_power_of_two() && u % w == 0, "u={u} must be a power-of-two multiple of w={w}");
+    assert!(
+        u.is_power_of_two() && u.is_multiple_of(w),
+        "u={u} must be a power-of-two multiple of w={w}"
+    );
     let banks = device.bank_model();
     let n = input.len();
     if n == 0 {
@@ -405,13 +408,8 @@ mod tests {
     fn sort(n: usize, seed: u64) -> RadixRun {
         let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
         let input: Vec<u32> = (0..n).map(|_| rng.gen()).collect();
-        let run = radix_sort(
-            &input,
-            128,
-            &Device::rtx2080ti(),
-            &TimingModel::rtx2080ti_like(),
-            true,
-        );
+        let run =
+            radix_sort(&input, 128, &Device::rtx2080ti(), &TimingModel::rtx2080ti_like(), true);
         let mut expect = input;
         expect.sort_unstable();
         assert_eq!(run.output, expect, "n={n}");
@@ -436,13 +434,8 @@ mod tests {
         let mut rng = rand::rngs::SmallRng::seed_from_u64(99);
         let input: Vec<u32> =
             (0..n).map(|i| (rng.gen_range(0..4u32) << 16) | (i as u32 & 0xFFFF)).collect();
-        let run = radix_sort(
-            &input,
-            128,
-            &Device::rtx2080ti(),
-            &TimingModel::rtx2080ti_like(),
-            false,
-        );
+        let run =
+            radix_sort(&input, 128, &Device::rtx2080ti(), &TimingModel::rtx2080ti_like(), false);
         // Full numeric sortedness implies the low bits (positions) are
         // ascending within each high-bit class — but radix sorts those
         // bits too; instead verify against a stable std sort by the full
@@ -467,8 +460,7 @@ mod tests {
         assert_eq!(binned.output, expect);
         // The whole point: binning slashes the store sectors…
         assert!(
-            binned.profile.total().global_st_sectors * 2
-                < direct.profile.total().global_st_sectors,
+            binned.profile.total().global_st_sectors * 2 < direct.profile.total().global_st_sectors,
             "binned {} vs direct {}",
             binned.profile.total().global_st_sectors,
             direct.profile.total().global_st_sectors

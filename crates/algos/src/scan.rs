@@ -62,7 +62,10 @@ pub fn block_exclusive_scan(
 ) -> (Vec<u32>, KernelProfile) {
     let w = banks.num_banks as usize;
     let u = input.len();
-    assert!(u.is_power_of_two() && u % w == 0, "tile of {u} must be a power-of-two multiple of w={w}");
+    assert!(
+        u.is_power_of_two() && u.is_multiple_of(w),
+        "tile of {u} must be a power-of-two multiple of w={w}"
+    );
     let padded_len = match kind {
         ScanKind::BlellochPadded => pad(u - 1, w) + 1,
         _ => u,

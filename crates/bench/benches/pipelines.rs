@@ -40,16 +40,8 @@ fn bench_blocksort_kernel(c: &mut Criterion) {
     {
         g.bench_function(label, |b| {
             b.iter(|| {
-                let p = blocksort_block(
-                    BankModel::new(32),
-                    u,
-                    e,
-                    strategy,
-                    &src,
-                    &mut dst,
-                    0,
-                    true,
-                );
+                let p =
+                    blocksort_block(BankModel::new(32), u, e, strategy, &src, &mut dst, 0, true);
                 black_box(p.total().shared_transactions())
             })
         });

@@ -25,9 +25,7 @@ fn bench_builder(c: &mut Criterion) {
     for tiles in [8usize, 64] {
         let n = tiles * 512 * 15;
         g.throughput(Throughput::Elements(n as u64));
-        g.bench_function(format!("tiles{tiles}"), |b| {
-            b.iter(|| black_box(builder.build(n).len()))
-        });
+        g.bench_function(format!("tiles{tiles}"), |b| b.iter(|| black_box(builder.build(n).len())));
     }
     g.finish();
 }

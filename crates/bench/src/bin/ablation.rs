@@ -13,9 +13,12 @@
 //! odd-even transposition (the paper's choice), Batcher, and the bitonic
 //! merger.
 
+use cfmerge_bench::artifact::{emit, RunArtifact};
 use cfmerge_core::gather::{CfLayout, GatherSchedule, ThreadSplit};
 use cfmerge_core::metrics::format_table;
 use cfmerge_gpu_sim::banks::BankModel;
+use cfmerge_gpu_sim::device::Device;
+use cfmerge_json::Json;
 use cfmerge_mergepath::networks::{bitonic_merge_ops, oets_ops};
 use rand::{Rng, SeedableRng};
 
@@ -36,8 +39,7 @@ fn measure<F: Fn(usize, usize) -> usize>(w: usize, e: usize, warps: usize, addr:
     let mut conflicts = 0u64;
     for v in 0..warps {
         for j in 0..e {
-            let addrs: Vec<u32> =
-                (0..w).map(|lane| addr(v * w + lane, j) as u32).collect();
+            let addrs: Vec<u32> = (0..w).map(|lane| addr(v * w + lane, j) as u32).collect();
             conflicts += u64::from(banks.round_cost(&addrs).conflicts);
         }
     }
@@ -45,6 +47,8 @@ fn measure<F: Fn(usize, usize) -> usize>(w: usize, e: usize, warps: usize, addr:
 }
 
 fn main() {
+    let mut art = RunArtifact::new("ablation", Device::rtx2080ti());
+    let mut gather_rows = Vec::new();
     let mut rng = rand::rngs::SmallRng::seed_from_u64(0xAB1A);
     let mut rows = Vec::new();
     let warps = 4usize;
@@ -73,6 +77,13 @@ fn main() {
             GatherSchedule::new(full, tid, splits[tid]).round(j).slot()
         });
 
+        gather_rows.push(Json::obj([
+            ("w", Json::from(w)),
+            ("e", Json::from(e)),
+            ("naive", Json::from(naive)),
+            ("pi_only", Json::from(pi_only)),
+            ("pi_rho", Json::from(pi_rho)),
+        ]));
         rows.push(vec![
             w.to_string(),
             e.to_string(),
@@ -82,37 +93,42 @@ fn main() {
             format!("{pi_rho:.1}"),
         ]);
     }
+    art.add_summary("gather_ablation", Json::Arr(gather_rows));
     println!("=== Gather ablation: bank conflicts per warp per E-round pass ===\n");
-    println!(
-        "{}",
-        format_table(&["w", "E", "d", "naive", "π only", "π + ρ"], &rows)
-    );
+    println!("{}", format_table(&["w", "E", "d", "naive", "π only", "π + ρ"], &rows));
 
     // Register-merge network ablation.
     let mut rows = Vec::new();
+    let mut network_rows = Vec::new();
     for e in [15usize, 16, 17, 31, 32] {
         let serial = (e - 1) as u64; // comparisons of a two-finger merge
         let oets = oets_ops(e);
-        let bitonic = if e.is_power_of_two() {
-            bitonic_merge_ops(e).to_string()
-        } else {
-            "-".into()
-        };
-        rows.push(vec![
-            e.to_string(),
-            serial.to_string(),
-            oets.to_string(),
-            bitonic,
-        ]);
+        let bitonic =
+            if e.is_power_of_two() { bitonic_merge_ops(e).to_string() } else { "-".into() };
+        network_rows.push(Json::obj([
+            ("e", Json::from(e)),
+            ("serial", Json::from(serial)),
+            ("oets", Json::from(oets)),
+            (
+                "bitonic",
+                if e.is_power_of_two() { Json::from(bitonic_merge_ops(e)) } else { Json::Null },
+            ),
+        ]));
+        rows.push(vec![e.to_string(), serial.to_string(), oets.to_string(), bitonic]);
     }
+    art.add_summary("network_ablation", Json::Arr(network_rows));
     println!("\n=== Register-merge ablation: compare(-exchange) counts per thread ===\n");
     println!(
         "{}",
-        format_table(&["E", "serial merge (branchy)", "OETS (paper)", "bitonic (pow2 only)"], &rows)
+        format_table(
+            &["E", "serial merge (branchy)", "OETS (paper)", "bitonic (pow2 only)"],
+            &rows
+        )
     );
     println!(
         "OETS costs O(E²) compare-exchanges but needs only static register indexing —\n\
          dynamic indexing would spill to local memory, which is why the serial count\n\
          is not achievable in registers (Section 5 of the paper)."
     );
+    emit(&art);
 }

@@ -1,0 +1,55 @@
+//! Compare two run artifacts (see `artifact::RunArtifact`) into a
+//! speedup table, or summarize one.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_diff BASELINE.json IMPROVED.json   # speedup table (base/improved)
+//! bench_diff ARTIFACT.json                 # one-artifact summary
+//! ```
+//!
+//! Series are paired by exact label first (the same tool re-run across
+//! two revisions), then by label-without-algorithm (thrust vs CF-Merge
+//! inside one artifact); points are matched by `n`.
+
+use cfmerge_bench::artifact::{diff_table, summary_table, RunArtifact};
+use std::path::Path;
+use std::process::ExitCode;
+
+fn load(path: &str) -> Result<RunArtifact, ExitCode> {
+    RunArtifact::load(Path::new(path)).map_err(|e| {
+        eprintln!("error: {e}");
+        ExitCode::FAILURE
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [one] => {
+            let art = match load(one) {
+                Ok(a) => a,
+                Err(code) => return code,
+            };
+            println!(
+                "=== {} (schema v{}, device {}) ===\n",
+                art.tool, art.schema_version, art.device.name
+            );
+            println!("{}", summary_table(&art));
+            ExitCode::SUCCESS
+        }
+        [base, improved] => {
+            let (base, improved) = match (load(base), load(improved)) {
+                (Ok(b), Ok(i)) => (b, i),
+                (Err(code), _) | (_, Err(code)) => return code,
+            };
+            println!("=== speedup: {} (baseline) vs {} (improved) ===\n", base.tool, improved.tool);
+            println!("{}", diff_table(&base, &improved));
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("usage: bench_diff BASELINE.json [IMPROVED.json]");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,11 +1,15 @@
 //! Timing-model calibration harness: prints the anchor ratios from
 //! DESIGN.md §5 for the current `TimingModel::rtx2080ti_like` constants.
 
+use cfmerge_bench::artifact::{emit, RunArtifact, RunRecord};
 use cfmerge_core::inputs::InputSpec;
 use cfmerge_core::params::SortParams;
 use cfmerge_core::sort::{simulate_sort, SortAlgorithm, SortConfig};
+use cfmerge_gpu_sim::device::Device;
+use cfmerge_json::Json;
 
 fn main() {
+    let mut art = RunArtifact::new("calibrate", Device::rtx2080ti());
     for (e, u) in [(15usize, 512usize), (17, 256)] {
         let cfg = SortConfig::with_params(SortParams::new(e, u));
         let n = 64 * e * u;
@@ -17,16 +21,59 @@ fn main() {
         let cr = simulate_sort(&random, SortAlgorithm::CfMerge, &cfg);
         println!("E={e} u={u} n={n}");
         println!("  thrust-random : {:8.1} elem/us", tr.throughput());
-        println!("  thrust-worst  : {:8.1} elem/us  slowdown {:.3}", tw.throughput(), tr.throughput() / tw.throughput());
-        println!("  cf-random     : {:8.1} elem/us  vs thrust-random {:.3}", cr.throughput(), tr.throughput() / cr.throughput());
-        println!("  cf-worst      : {:8.1} elem/us  cf speedup on worst {:.3}", cw.throughput(), cw.throughput() / tw.throughput());
+        println!(
+            "  thrust-worst  : {:8.1} elem/us  slowdown {:.3}",
+            tw.throughput(),
+            tr.throughput() / tw.throughput()
+        );
+        println!(
+            "  cf-random     : {:8.1} elem/us  vs thrust-random {:.3}",
+            cr.throughput(),
+            tr.throughput() / cr.throughput()
+        );
+        println!(
+            "  cf-worst      : {:8.1} elem/us  cf speedup on worst {:.3}",
+            cw.throughput(),
+            cw.throughput() / tw.throughput()
+        );
         for k in &tr.kernels[..2.min(tr.kernels.len())] {
-            println!("  [rand {}] dominant={} global={:.2e} shared={:.2e} lat={:.2e} alu={:.2e}",
-                k.name, k.time.dominant(), k.time.global_s, k.time.shared_s, k.time.latency_s, k.time.alu_s);
+            println!(
+                "  [rand {}] dominant={} global={:.2e} shared={:.2e} lat={:.2e} alu={:.2e}",
+                k.name,
+                k.time.dominant(),
+                k.time.global_s,
+                k.time.shared_s,
+                k.time.latency_s,
+                k.time.alu_s
+            );
         }
         for k in &tw.kernels[..2.min(tw.kernels.len())] {
-            println!("  [worst {}] dominant={} global={:.2e} shared={:.2e} lat={:.2e} alu={:.2e}",
-                k.name, k.time.dominant(), k.time.global_s, k.time.shared_s, k.time.latency_s, k.time.alu_s);
+            println!(
+                "  [worst {}] dominant={} global={:.2e} shared={:.2e} lat={:.2e} alu={:.2e}",
+                k.name,
+                k.time.dominant(),
+                k.time.global_s,
+                k.time.shared_s,
+                k.time.latency_s,
+                k.time.alu_s
+            );
+        }
+        art.add_summary(
+            &format!("anchors_e{e}_u{u}"),
+            Json::obj([
+                ("thrust_worst_slowdown", Json::from(tr.throughput() / tw.throughput())),
+                ("cf_random_overhead", Json::from(tr.throughput() / cr.throughput())),
+                ("cf_worst_speedup", Json::from(cw.throughput() / tw.throughput())),
+            ]),
+        );
+        for (label, algo, run) in [
+            ("thrust/worst", SortAlgorithm::ThrustMergesort, &tw),
+            ("thrust/random", SortAlgorithm::ThrustMergesort, &tr),
+            ("cf-merge/worst", SortAlgorithm::CfMerge, &cw),
+            ("cf-merge/random", SortAlgorithm::CfMerge, &cr),
+        ] {
+            art.runs.push(RunRecord::from_run(format!("{label}/E={e},u={u}"), algo, run));
         }
     }
+    emit(&art);
 }

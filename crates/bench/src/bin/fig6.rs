@@ -6,13 +6,19 @@
 //! (ii) Thrust drops sharply on worst-case inputs while CF is input-
 //! independent.
 
-use cfmerge_bench::sweep::{default_exponents, full_exponents, full_flag, run_series, series_table};
+use cfmerge_bench::artifact::{emit, RunArtifact};
+use cfmerge_bench::sweep::{
+    default_exponents, full_exponents, full_flag, run_series, series_table,
+};
 use cfmerge_core::inputs::InputSpec;
 use cfmerge_core::params::SortParams;
 use cfmerge_core::sort::SortAlgorithm;
+use cfmerge_gpu_sim::device::Device;
+use cfmerge_json::Json;
 
 fn main() {
     let full = full_flag();
+    let mut art = RunArtifact::new("fig6", Device::rtx2080ti());
     for params in [SortParams::e15_u512(), SortParams::e17_u256()] {
         let exps = if full { full_exponents(params.u) } else { default_exponents(params.u) };
         let worst = InputSpec::worst_case(params);
@@ -42,5 +48,14 @@ fn main() {
             cf_worst / cf_rand,
             cf_rand / t_rand
         );
+        art.add_summary(
+            &format!("ratios_e{}_u{}", params.e, params.u),
+            Json::obj([
+                ("cf_input_independence", Json::from(cf_worst / cf_rand)),
+                ("cf_random_parity", Json::from(cf_rand / t_rand)),
+            ]),
+        );
+        art.series.extend(series);
     }
+    emit(&art);
 }

@@ -4,39 +4,61 @@
 //! Usage: `cargo run -p cfmerge-bench --bin figures [-- fig1 fig2 …]`
 //! (no argument = all figures).
 
+use cfmerge_bench::artifact::{emit, RunArtifact};
 use cfmerge_bench::render;
+use cfmerge_gpu_sim::device::Device;
+use cfmerge_json::Json;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let want = |name: &str| args.is_empty() || args.iter().any(|a| a == name);
+    let mut art = RunArtifact::new("figures", Device::rtx2080ti());
+    let mut rendered = Vec::new();
 
     if want("fig1") {
         println!("=== Figure 1: strided accesses, w = 12 ===");
         println!("{}", render::figure1(12, &[5, 6]));
+        rendered.push(Json::obj([("figure", Json::from("fig1"))]));
     }
     if want("fig2") {
         println!("=== Figure 2: CF gather rounds, w = 12, E = 5, d = 1 ===");
         let (s, tx) = render::gather_figure(12, 5, 12, 2);
         println!("{s}max transactions in any round: {tx} (1 = conflict-free)\n");
+        rendered.push(Json::obj([
+            ("figure", Json::from("fig2")),
+            ("max_transactions", Json::from(tx)),
+        ]));
     }
     if want("fig3") {
         println!("=== Figure 3: CF gather rounds, w = 9, E = 6, d = 3 ===");
         let (s, tx) = render::gather_figure(9, 6, 9, 3);
         println!("{s}max transactions in any round: {tx} (1 = conflict-free)\n");
+        rendered.push(Json::obj([
+            ("figure", Json::from("fig3")),
+            ("max_transactions", Json::from(tx)),
+        ]));
     }
     if want("fig4") {
         println!("=== Figure 4: worst-case inputs, w = 12, E ∈ {{5, 9}} ===");
         println!("{}", render::figure4(12, 5));
         println!("{}", render::figure4(12, 9));
+        rendered.push(Json::obj([("figure", Json::from("fig4"))]));
     }
     if want("fig7") {
         println!("=== Figure 7: read stalls without reversing B, w = 12, E = 5 ===");
         let (s, _) = render::figure7(12, 5, 7);
         println!("{s}");
+        rendered.push(Json::obj([("figure", Json::from("fig7"))]));
     }
     if want("fig8") {
         println!("=== Figure 8: thread-block gather, u = 18, w = 6, E = 4, d = 2 ===");
         let (s, tx) = render::gather_figure(6, 4, 18, 8);
         println!("{s}max transactions in any round: {tx} (1 = conflict-free)\n");
+        rendered.push(Json::obj([
+            ("figure", Json::from("fig8")),
+            ("max_transactions", Json::from(tx)),
+        ]));
     }
+    art.add_summary("rendered", Json::Arr(rendered));
+    emit(&art);
 }

@@ -4,13 +4,16 @@
 //! is insensitive. We sweep `E ∈ {14, …, 18}` at `u = 256` on random and
 //! worst-case inputs.
 
+use cfmerge_bench::artifact::{emit, RunArtifact, RunRecord};
 use cfmerge_core::inputs::InputSpec;
 use cfmerge_core::metrics::format_table;
 use cfmerge_core::params::SortParams;
 use cfmerge_core::sort::{simulate_sort, SortAlgorithm, SortConfig};
+use cfmerge_gpu_sim::device::Device;
 use cfmerge_numtheory::gcd;
 
 fn main() {
+    let mut art = RunArtifact::new("noncoprime_penalty", Device::rtx2080ti());
     let mut rows = Vec::new();
     for e in [14usize, 15, 16, 17, 18] {
         let params = SortParams::new(e, 256);
@@ -24,6 +27,16 @@ fn main() {
             let input = spec.generate(n);
             let thrust = simulate_sort(&input, SortAlgorithm::ThrustMergesort, &cfg);
             let cf = simulate_sort(&input, SortAlgorithm::CfMerge, &cfg);
+            art.runs.push(RunRecord::from_run(
+                format!("thrust/{input_label}/E={e},u=256"),
+                SortAlgorithm::ThrustMergesort,
+                &thrust,
+            ));
+            art.runs.push(RunRecord::from_run(
+                format!("cf-merge/{input_label}/E={e},u=256"),
+                SortAlgorithm::CfMerge,
+                &cf,
+            ));
             rows.push(vec![
                 e.to_string(),
                 d.to_string(),
@@ -58,4 +71,5 @@ fn main() {
          reversal-only small pairs and the rank-layout stores — its gather and the\n\
          global merge passes stay conflict-free; see DESIGN.md.)"
     );
+    emit(&art);
 }

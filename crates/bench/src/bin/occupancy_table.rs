@@ -3,13 +3,17 @@
 //! `E = 17, u = 256` reaches 75% (shared-memory-limited). Printed for a
 //! grid of candidate parameters.
 
+use cfmerge_bench::artifact::{emit, RunArtifact};
 use cfmerge_core::metrics::format_table;
 use cfmerge_core::params::SortParams;
 use cfmerge_gpu_sim::device::Device;
-use cfmerge_gpu_sim::occupancy::{mergesort_regs_estimate, occupancy, BlockResources};
+use cfmerge_gpu_sim::occupancy::{mergesort_regs_estimate, try_occupancy, BlockResources};
+use cfmerge_json::{Json, ToJson};
 
 fn main() {
     let dev = Device::rtx2080ti();
+    let mut art = RunArtifact::new("occupancy_table", dev.clone());
+    let mut grid = Vec::new();
     let mut rows = Vec::new();
     for &u in &[128usize, 256, 512, 1024] {
         for &e in &[11usize, 13, 15, 17, 19, 21] {
@@ -19,16 +23,49 @@ fn main() {
                 shared_bytes: params.shared_bytes(),
                 regs_per_thread: mergesort_regs_estimate(e as u32),
             };
-            let occ = occupancy(&dev, &res);
-            rows.push(vec![
-                e.to_string(),
-                u.to_string(),
-                format!("{} B", params.shared_bytes()),
-                occ.blocks_per_sm.to_string(),
-                occ.warps_per_sm.to_string(),
-                format!("{:.0}%", occ.fraction * 100.0),
-                format!("{:?}", occ.limiter),
-            ]);
+            // Large (u, E) products legitimately exceed the SM's shared
+            // memory; report those rows as non-launchable rather than
+            // skipping them, so the table shows *why* the corner is empty.
+            let occ = try_occupancy(&dev, &res);
+            grid.push(Json::obj([
+                ("e", Json::from(e)),
+                ("u", Json::from(u)),
+                ("resources", res.to_json()),
+                (
+                    "occupancy",
+                    match &occ {
+                        Ok(o) => o.to_json(),
+                        Err(_) => Json::Null,
+                    },
+                ),
+                (
+                    "unlaunchable_reason",
+                    match &occ {
+                        Ok(_) => Json::Null,
+                        Err(why) => Json::from(*why),
+                    },
+                ),
+            ]));
+            rows.push(match occ {
+                Ok(occ) => vec![
+                    e.to_string(),
+                    u.to_string(),
+                    format!("{} B", params.shared_bytes()),
+                    occ.blocks_per_sm.to_string(),
+                    occ.warps_per_sm.to_string(),
+                    format!("{:.0}%", occ.fraction * 100.0),
+                    format!("{:?}", occ.limiter),
+                ],
+                Err(why) => vec![
+                    e.to_string(),
+                    u.to_string(),
+                    format!("{} B", params.shared_bytes()),
+                    "-".into(),
+                    "-".into(),
+                    "0%".into(),
+                    format!("won't launch: {why}"),
+                ],
+            });
         }
     }
     println!("=== Theoretical occupancy on {} ===\n", dev.name);
@@ -39,4 +76,6 @@ fn main() {
             &rows
         )
     );
+    art.add_summary("grid", Json::Arr(grid));
+    emit(&art);
 }

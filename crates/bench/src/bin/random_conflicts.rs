@@ -4,29 +4,45 @@
 //! simulator's per-round degree histogram, for both parameter sets, plus
 //! CF-Merge as the zero-conflict control.
 
+use cfmerge_bench::artifact::{emit, RunArtifact, RunRecord};
 use cfmerge_core::inputs::InputSpec;
 use cfmerge_core::metrics::format_table;
 use cfmerge_core::params::SortParams;
 use cfmerge_core::sort::{simulate_sort, SortAlgorithm, SortConfig};
+use cfmerge_gpu_sim::device::Device;
+use cfmerge_json::Json;
 
 fn main() {
+    let mut art = RunArtifact::new("random_conflicts", Device::rtx2080ti());
     let mut rows = Vec::new();
     for params in [SortParams::e15_u512(), SortParams::e17_u256()] {
         let cfg = SortConfig::with_params(params);
         let n = 32 * params.tile();
-        for (algo, label) in [
-            (SortAlgorithm::ThrustMergesort, "thrust"),
-            (SortAlgorithm::CfMerge, "cf-merge"),
-        ] {
+        for (algo, label) in
+            [(SortAlgorithm::ThrustMergesort, "thrust"), (SortAlgorithm::CfMerge, "cf-merge")]
+        {
             let mut per_seed = Vec::new();
             for seed in 0..3u64 {
                 let input = InputSpec::UniformRandom { seed }.generate(n);
                 let run = simulate_sort(&input, algo, &cfg);
+                art.runs.push(RunRecord::from_run(
+                    format!("{label}/random(seed={seed})/E={},u={}", params.e, params.u),
+                    algo,
+                    &run,
+                ));
                 per_seed.push(run);
             }
             let mean: f64 = per_seed.iter().map(|r| r.conflicts_per_merge_round()).sum::<f64>()
                 / per_seed.len() as f64;
             let hist = &per_seed[0].profile.merge_degree_hist;
+            art.add_summary(
+                &format!("{label}_e{}_u{}", params.e, params.u),
+                Json::obj([
+                    ("conflicts_per_step", Json::from(mean)),
+                    ("conflict_free_fraction", Json::from(hist.conflict_free_fraction())),
+                    ("max_degree", hist.max_degree().map_or(Json::Null, Json::from)),
+                ]),
+            );
             rows.push(vec![
                 format!("E={},u={}", params.e, params.u),
                 label.to_string(),
@@ -45,4 +61,5 @@ fn main() {
             &rows
         )
     );
+    emit(&art);
 }

@@ -2,11 +2,16 @@
 //! conflicts of three block-scan variants, measured exactly.
 
 use cfmerge_algos::scan::{block_exclusive_scan, ScanKind};
+use cfmerge_bench::artifact::{emit, RunArtifact};
 use cfmerge_core::metrics::format_table;
 use cfmerge_gpu_sim::banks::BankModel;
+use cfmerge_gpu_sim::device::Device;
+use cfmerge_json::Json;
 use rand::{Rng, SeedableRng};
 
 fn main() {
+    let mut art = RunArtifact::new("scan_table", Device::rtx2080ti());
+    let mut variants = Vec::new();
     let mut rng = rand::rngs::SmallRng::seed_from_u64(0x5CA7);
     let mut rows = Vec::new();
     for u in [128usize, 512, 1024] {
@@ -14,6 +19,14 @@ fn main() {
         for kind in [ScanKind::HillisSteele, ScanKind::Blelloch, ScanKind::BlellochPadded] {
             let (_, profile) = block_exclusive_scan(BankModel::nvidia(), &input, kind);
             let t = profile.total();
+            variants.push(Json::obj([
+                ("u", Json::from(u)),
+                ("variant", Json::from(kind.label())),
+                ("alu_ops", Json::from(t.alu_ops)),
+                ("shared_requests", Json::from(t.shared_requests())),
+                ("shared_transactions", Json::from(t.shared_transactions())),
+                ("bank_conflicts", Json::from(t.bank_conflicts())),
+            ]));
             rows.push(vec![
                 u.to_string(),
                 kind.label().to_string(),
@@ -39,4 +52,6 @@ fn main() {
          request count: the same trade-space CF-Merge navigates for merging.",
         32, 32
     );
+    art.add_summary("variants", Json::Arr(variants));
+    emit(&art);
 }

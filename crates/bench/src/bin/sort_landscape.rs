@@ -13,17 +13,21 @@
 
 use cfmerge_algos::bitonic::bitonic_sort;
 use cfmerge_algos::radix::{radix_sort, radix_sort_with, ScatterKind};
+use cfmerge_bench::artifact::{emit, RunArtifact, RunRecord};
 use cfmerge_core::inputs::InputSpec;
 use cfmerge_core::metrics::format_table;
 use cfmerge_core::params::SortParams;
 use cfmerge_core::sort::{simulate_sort, SortAlgorithm, SortConfig};
 use cfmerge_gpu_sim::device::Device;
 use cfmerge_gpu_sim::timing::TimingModel;
+use cfmerge_json::Json;
 
 fn main() {
     let device = Device::rtx2080ti();
     let timing = TimingModel::rtx2080ti_like();
     let cfg = SortConfig::with_params(SortParams::e15_u512());
+    let mut art = RunArtifact::new("sort_landscape", device.clone());
+    let mut landscape = Vec::new();
     let mut rows = Vec::new();
     for i in [12u32, 14, 16, 18, 20] {
         let n = 1usize << i;
@@ -40,6 +44,24 @@ fn main() {
         assert_eq!(bit.output, sorted);
         assert_eq!(rad.output, sorted);
         assert_eq!(radb.output, sorted);
+        art.runs.push(RunRecord::from_run(
+            format!("thrust/random/n=2^{i}"),
+            SortAlgorithm::ThrustMergesort,
+            &thrust,
+        ));
+        art.runs.push(RunRecord::from_run(
+            format!("cf-merge/random/n=2^{i}"),
+            SortAlgorithm::CfMerge,
+            &cf,
+        ));
+        landscape.push(Json::obj([
+            ("n", Json::from(n)),
+            ("thrust", Json::from(thrust.throughput())),
+            ("cf_merge", Json::from(cf.throughput())),
+            ("bitonic", Json::from(bit.throughput())),
+            ("radix_direct", Json::from(rad.throughput())),
+            ("radix_binned", Json::from(radb.throughput())),
+        ]));
         rows.push(vec![
             format!("2^{i}"),
             format!("{:.0}", thrust.throughput()),
@@ -78,4 +100,6 @@ fn main() {
          which Merrill-style shared-memory binning removes — the binned variant is\n\
          the non-comparison sort the paper's 'comparison-based' qualifier concedes to."
     );
+    art.add_summary("throughput", Json::Arr(landscape));
+    emit(&art);
 }

@@ -3,15 +3,19 @@
 //! set, CF-vs-Thrust parity on random inputs, and the zero-conflict
 //! `nvprof` check.
 
+use cfmerge_bench::artifact::{emit, RunArtifact};
 use cfmerge_bench::report::speedup_summary;
 use cfmerge_bench::sweep::{default_exponents, full_exponents, full_flag, run_series};
 use cfmerge_core::inputs::InputSpec;
 use cfmerge_core::metrics::format_table;
 use cfmerge_core::params::SortParams;
 use cfmerge_core::sort::SortAlgorithm;
+use cfmerge_gpu_sim::device::Device;
+use cfmerge_json::{Json, ToJson};
 
 fn main() {
     let full = full_flag();
+    let mut art = RunArtifact::new("speedup_summary", Device::rtx2080ti());
     let mut rows = Vec::new();
     for params in [SortParams::e15_u512(), SortParams::e17_u256()] {
         let exps = if full { full_exponents(params.u) } else { default_exponents(params.u) };
@@ -40,6 +44,15 @@ fn main() {
             format!("{:.3}", sr.mean),
             cf_conflicts.to_string(),
         ]);
+        art.add_summary(
+            &format!("e{}_u{}", params.e, params.u),
+            Json::obj([
+                ("worst_case_speedup", sw.to_json()),
+                ("random_speedup", sr.to_json()),
+                ("cf_merge_conflicts", Json::from(cf_conflicts)),
+            ]),
+        );
+        art.series.extend([tw, cw, tr, cr]);
     }
     println!("\n=== Section 5.1 summary ===\n");
     println!(
@@ -56,4 +69,5 @@ fn main() {
         )
     );
     println!("(random-input speedup ≈ 1.0 = the paper's \"virtually the same time\";\n CF merge conflicts must be 0 — the nvprof check.)");
+    emit(&art);
 }

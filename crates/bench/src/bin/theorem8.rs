@@ -3,11 +3,16 @@
 //! non-coprime cases, `q = 1` and `q > 1`, including the paper's figure
 //! parameters and the headline `w = 32` column.
 
+use cfmerge_bench::artifact::{emit, RunArtifact};
 use cfmerge_core::metrics::format_table;
 use cfmerge_core::worst_case::{lockstep_baseline_conflicts, predicted_warp_conflicts};
+use cfmerge_gpu_sim::device::Device;
+use cfmerge_json::Json;
 use cfmerge_numtheory::gcd;
 
 fn main() {
+    let mut art = RunArtifact::new("theorem8", Device::rtx2080ti());
+    let mut table = Vec::new();
     let mut rows = Vec::new();
     let mut cases: Vec<(usize, usize)> = Vec::new();
     for e in [2usize, 4, 5, 8, 12, 14, 15, 16, 17, 20, 24, 28, 31, 32] {
@@ -21,6 +26,13 @@ fn main() {
         let d = gcd(w as u64, e as u64);
         let predicted = predicted_warp_conflicts(w, e);
         let measured = lockstep_baseline_conflicts(w, e, warps) as f64 / warps as f64;
+        table.push(Json::obj([
+            ("w", Json::from(w)),
+            ("e", Json::from(e)),
+            ("d", Json::from(d)),
+            ("predicted", Json::from(predicted)),
+            ("measured", Json::from(measured)),
+        ]));
         rows.push(vec![
             w.to_string(),
             e.to_string(),
@@ -35,14 +47,13 @@ fn main() {
     println!("=== Theorem 8: worst-case bank conflicts per warp ===");
     println!(
         "{}",
-        format_table(
-            &["w", "E", "d", "q", "r", "predicted", "measured", "ratio"],
-            &rows
-        )
+        format_table(&["w", "E", "d", "q", "r", "predicted", "measured", "ratio"], &rows)
     );
     println!(
         "(predicted counts E per aligned column scan; the lock-step measurement counts\n\
          transactions−1 per round, so ratios slightly below 1 are expected — see\n\
          EXPERIMENTS.md.)"
     );
+    art.add_summary("cases", Json::Arr(table));
+    emit(&art);
 }

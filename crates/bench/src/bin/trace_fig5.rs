@@ -1,0 +1,53 @@
+//! Dump Perfetto / chrome://tracing traces for one Figure-5
+//! configuration (`E = 15, u = 512`, worst-case input, one sweep point),
+//! for both pipelines, plus the conflict-forensics report.
+//!
+//! Load the emitted `trace_fig5_*.perfetto.json` files in
+//! <https://ui.perfetto.dev> or chrome://tracing: the Thrust timeline
+//! shows instant "conflict" markers clustered in the merge phases; the
+//! CF-Merge timeline has none there — its only markers sit in
+//! blocksort's binary-search steps, which the paper's transformation
+//! does not target.
+
+use cfmerge_bench::artifact::{emit, RunArtifact, RunRecord};
+use cfmerge_core::inputs::InputSpec;
+use cfmerge_core::sort::{simulate_sort_traced, SortAlgorithm, SortConfig};
+use cfmerge_json::Json;
+
+fn main() {
+    let cfg = SortConfig::paper_e15_u512();
+    let n = (1usize << 9) * cfg.params.e; // the first Figure-5 sweep point
+    let input = InputSpec::worst_case(cfg.params).generate(n);
+
+    let mut art = RunArtifact::new("trace_fig5", cfg.device.clone());
+    let dir = RunArtifact::results_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+    }
+
+    for algo in [SortAlgorithm::ThrustMergesort, SortAlgorithm::CfMerge] {
+        let traced = simulate_sort_traced(&input, algo, &cfg);
+        assert!(traced.run.output.is_sorted(), "pipeline produced unsorted output");
+
+        let path = dir.join(format!("trace_fig5_{}.perfetto.json", algo.label()));
+        match std::fs::write(&path, traced.trace.to_perfetto_string()) {
+            Ok(()) => eprintln!("trace: {}", path.display()),
+            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        }
+
+        println!("=== {} ===", traced.trace.label);
+        println!("{}", traced.trace.forensics().report(5));
+        println!();
+
+        art.runs.push(RunRecord::from_run(traced.trace.label.clone(), algo, &traced.run));
+        art.add_summary(
+            algo.label(),
+            Json::obj([
+                ("trace_file", Json::from(path.display().to_string())),
+                ("conflict_rounds", Json::from(traced.trace.conflict_rounds())),
+                ("merge_conflicts", Json::from(traced.run.profile.merge_bank_conflicts())),
+            ]),
+        );
+    }
+    emit(&art);
+}

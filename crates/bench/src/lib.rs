@@ -9,15 +9,20 @@
 //!   (1, 2, 3, 4, 7, 8), generated from the actual index math rather than
 //!   drawn by hand.
 //! * [`report`] — table formatting re-exports.
+//! * [`artifact`] — machine-readable [`artifact::RunArtifact`] JSON every
+//!   binary writes next to its text output, plus the diff/summary helpers
+//!   behind the `bench_diff` binary.
 //!
 //! Binaries: `fig5`, `fig6`, `figures` (1/2/3/4/7/8), `theorem8`,
 //! `random_conflicts`, `noncoprime_penalty`, `occupancy_table`,
 //! `speedup_summary`, `ablation`, `sort_landscape`, `scan_table`,
-//! `calibrate`.
+//! `calibrate`, plus the observability pair `bench_diff` (artifact →
+//! speedup table) and `trace_fig5` (Perfetto trace dump).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod artifact;
 pub mod render;
 pub mod sweep;
 

@@ -11,10 +11,10 @@
 use cfmerge_core::inputs::InputSpec;
 use cfmerge_core::params::SortParams;
 use cfmerge_core::sort::{simulate_sort, SortAlgorithm, SortConfig, SortRun};
-use serde::{Deserialize, Serialize};
+use cfmerge_json::{FromJson, Json, JsonError, ToJson};
 
 /// One measured point of a sweep.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SweepPoint {
     /// `n = 2^i · E`.
     pub i: u32,
@@ -30,13 +30,51 @@ pub struct SweepPoint {
     pub merge_conflicts: u64,
 }
 
+impl ToJson for SweepPoint {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("i", Json::from(self.i)),
+            ("n", Json::from(self.n)),
+            ("seconds", Json::from(self.seconds)),
+            ("throughput", Json::from(self.throughput)),
+            ("conflicts_per_round", Json::from(self.conflicts_per_round)),
+            ("merge_conflicts", Json::from(self.merge_conflicts)),
+        ])
+    }
+}
+
+impl FromJson for SweepPoint {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            i: v.field("i")?,
+            n: v.field("n")?,
+            seconds: v.field("seconds")?,
+            throughput: v.field("throughput")?,
+            conflicts_per_round: v.field("conflicts_per_round")?,
+            merge_conflicts: v.field("merge_conflicts")?,
+        })
+    }
+}
+
 /// A full series: one (algorithm, input, parameters) combination.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Series {
     /// Display label, e.g. `thrust/worst-case(E=15)/E=15,u=512`.
     pub label: String,
     /// The measured points, ascending in `n`.
     pub points: Vec<SweepPoint>,
+}
+
+impl ToJson for Series {
+    fn to_json(&self) -> Json {
+        Json::obj([("label", Json::from(self.label.as_str())), ("points", self.points.to_json())])
+    }
+}
+
+impl FromJson for Series {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Self { label: v.field("label")?, points: v.field("points")? })
+    }
 }
 
 /// Default exponent range: `2^9·E … 2^15·E`.
@@ -125,12 +163,8 @@ mod tests {
     #[test]
     fn tiny_sweep_runs() {
         let params = SortParams::new(5, 32);
-        let s = run_series(
-            params,
-            SortAlgorithm::CfMerge,
-            InputSpec::UniformRandom { seed: 1 },
-            5..=7,
-        );
+        let s =
+            run_series(params, SortAlgorithm::CfMerge, InputSpec::UniformRandom { seed: 1 }, 5..=7);
         assert_eq!(s.points.len(), 3);
         assert!(s.points.iter().all(|p| p.throughput > 0.0));
         assert_eq!(s.points[0].n, 32 * 5);
@@ -146,12 +180,7 @@ mod tests {
     #[test]
     fn table_has_all_columns() {
         let params = SortParams::new(5, 32);
-        let a = run_series(
-            params,
-            SortAlgorithm::ThrustMergesort,
-            InputSpec::Sorted,
-            5..=6,
-        );
+        let a = run_series(params, SortAlgorithm::ThrustMergesort, InputSpec::Sorted, 5..=6);
         let b = run_series(params, SortAlgorithm::CfMerge, InputSpec::Sorted, 5..=6);
         let t = series_table(&[a, b]);
         assert!(t.contains("thrust"));

@@ -174,9 +174,7 @@ mod tests {
     fn dual_scan_delivers_ascending_subsequences() {
         for &(w, e, warps) in &[(12usize, 5usize, 1usize), (9, 6, 2), (32, 15, 2)] {
             let (mut block, layout, splits, a, b) = setup(w, e, warps, 11);
-            let pairs = dual_scan_block(&mut block, &layout, &splits, |_tid, p| {
-                (p.clone(), 0)
-            });
+            let pairs = dual_scan_block(&mut block, &layout, &splits, |_tid, p| (p.clone(), 0));
             for (tid, (pair, split)) in pairs.iter().zip(&splits).enumerate() {
                 let b_begin = tid * e - split.a_begin;
                 assert_eq!(pair.a, a[split.a_begin..split.a_begin + split.a_len]);
@@ -218,9 +216,7 @@ mod tests {
     #[test]
     fn dual_scan_is_conflict_free_noncoprime_too() {
         let (mut block, layout, splits, _, _) = setup(8, 6, 3, 13);
-        let _ = dual_scan_block(&mut block, &layout, &splits, |_t, p| {
-            (p.a.len() + p.b.len(), 1)
-        });
+        let _ = dual_scan_block(&mut block, &layout, &splits, |_t, p| (p.a.len() + p.b.len(), 1));
         assert_eq!(block.profile.phase(PhaseClass::Gather).bank_conflicts(), 0);
     }
 }

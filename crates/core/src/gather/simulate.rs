@@ -9,6 +9,7 @@ use super::layout::CfLayout;
 use super::schedule::{GatherSchedule, RegisterSlot, ThreadSplit};
 use cfmerge_gpu_sim::block::BlockSim;
 use cfmerge_gpu_sim::profiler::PhaseClass;
+use cfmerge_gpu_sim::trace::Tracer;
 
 /// Run the load-balanced dual subsequence gather on a block whose shared
 /// memory already holds the permuted layout `ρ(A ∪ π(B))`.
@@ -21,8 +22,8 @@ use cfmerge_gpu_sim::profiler::PhaseClass;
 /// Panics if the layout/splits disagree with the block shape.
 #[must_use]
 #[allow(clippy::needless_range_loop)] // round index j is the semantic loop variable
-pub fn gather_block(
-    block: &mut BlockSim<u32>,
+pub fn gather_block<Tr: Tracer>(
+    block: &mut BlockSim<u32, Tr>,
     layout: &CfLayout,
     splits: &[ThreadSplit],
 ) -> Vec<Vec<u32>> {
@@ -47,8 +48,8 @@ pub fn gather_block(
 ///
 /// `items` must be indexed by round (the layout [`gather_block`] returns).
 #[allow(clippy::needless_range_loop)] // round index j is the semantic loop variable
-pub fn scatter_block(
-    block: &mut BlockSim<u32>,
+pub fn scatter_block<Tr: Tracer>(
+    block: &mut BlockSim<u32, Tr>,
     layout: &CfLayout,
     splits: &[ThreadSplit],
     items: &[Vec<u32>],
@@ -225,8 +226,7 @@ mod tests {
             let tile = permuted_tile(&a, &b, &layout);
             let items = gather_reference(&a, &b, &layout, &splits);
 
-            let mut block =
-                BlockSim::<u32>::new(BankModel::new(w as u32), w * warps, layout.total);
+            let mut block = BlockSim::<u32>::new(BankModel::new(w as u32), w * warps, layout.total);
             scatter_block(&mut block, &layout, &splits, &items);
             assert_eq!(block.shared(), &tile[..], "scatter must rebuild the permuted tile");
             assert_eq!(block.profile.phase(PhaseClass::Gather).bank_conflicts(), 0);

@@ -7,12 +7,12 @@
 
 use crate::params::SortParams;
 use crate::worst_case::WorstCaseBuilder;
+use cfmerge_json::{FromJson, Json, JsonError, ToJson};
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// A reproducible input distribution.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum InputSpec {
     /// Uniform random 32-bit keys.
     UniformRandom {
@@ -110,6 +110,61 @@ impl InputSpec {
             InputSpec::FewDistinct { distinct, .. } => format!("few-distinct({distinct})"),
             InputSpec::NearlySorted { swaps, .. } => format!("nearly-sorted({swaps})"),
             InputSpec::WorstCase { e, .. } => format!("worst-case(E={e})"),
+        }
+    }
+}
+
+impl ToJson for InputSpec {
+    /// Externally tagged: `{"kind": "...", ...parameters}`.
+    fn to_json(&self) -> Json {
+        match *self {
+            InputSpec::UniformRandom { seed } => {
+                Json::obj([("kind", Json::from("uniform-random")), ("seed", Json::from(seed))])
+            }
+            InputSpec::RandomPermutation { seed } => {
+                Json::obj([("kind", Json::from("random-permutation")), ("seed", Json::from(seed))])
+            }
+            InputSpec::Sorted => Json::obj([("kind", Json::from("sorted"))]),
+            InputSpec::Reversed => Json::obj([("kind", Json::from("reversed"))]),
+            InputSpec::FewDistinct { seed, distinct } => Json::obj([
+                ("kind", Json::from("few-distinct")),
+                ("seed", Json::from(seed)),
+                ("distinct", Json::from(distinct)),
+            ]),
+            InputSpec::NearlySorted { seed, swaps } => Json::obj([
+                ("kind", Json::from("nearly-sorted")),
+                ("seed", Json::from(seed)),
+                ("swaps", Json::from(swaps)),
+            ]),
+            InputSpec::WorstCase { w, e, u } => Json::obj([
+                ("kind", Json::from("worst-case")),
+                ("w", Json::from(w)),
+                ("e", Json::from(e)),
+                ("u", Json::from(u)),
+            ]),
+        }
+    }
+}
+
+impl FromJson for InputSpec {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let kind: String = v.field("kind")?;
+        match kind.as_str() {
+            "uniform-random" => Ok(InputSpec::UniformRandom { seed: v.field("seed")? }),
+            "random-permutation" => Ok(InputSpec::RandomPermutation { seed: v.field("seed")? }),
+            "sorted" => Ok(InputSpec::Sorted),
+            "reversed" => Ok(InputSpec::Reversed),
+            "few-distinct" => Ok(InputSpec::FewDistinct {
+                seed: v.field("seed")?,
+                distinct: v.field("distinct")?,
+            }),
+            "nearly-sorted" => {
+                Ok(InputSpec::NearlySorted { seed: v.field("seed")?, swaps: v.field("swaps")? })
+            }
+            "worst-case" => {
+                Ok(InputSpec::WorstCase { w: v.field("w")?, e: v.field("e")?, u: v.field("u")? })
+            }
+            other => Err(JsonError::new(format!("unknown input kind {other:?}"))),
         }
     }
 }

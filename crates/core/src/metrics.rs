@@ -1,7 +1,7 @@
 //! Reporting helpers: throughput, speedups, and the summary statistics
 //! quoted in Section 5.1.
 
-use serde::{Deserialize, Serialize};
+use cfmerge_json::{FromJson, Json, JsonError, ToJson};
 
 /// Throughput in elements per microsecond — the unit of Figures 5 and 6.
 #[must_use]
@@ -13,7 +13,7 @@ pub fn elements_per_us(n: usize, seconds: f64) -> f64 {
 }
 
 /// One data point of a throughput series.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ThroughputPoint {
     /// Input size.
     pub n: usize,
@@ -31,11 +31,31 @@ impl ThroughputPoint {
     }
 }
 
+impl ToJson for ThroughputPoint {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("n", Json::from(self.n)),
+            ("seconds", Json::from(self.seconds)),
+            ("elems_per_us", Json::from(self.elems_per_us)),
+        ])
+    }
+}
+
+impl FromJson for ThroughputPoint {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            n: v.field("n")?,
+            seconds: v.field("seconds")?,
+            elems_per_us: v.field("elems_per_us")?,
+        })
+    }
+}
+
 /// The speedup summary the paper reports for Figure 5: "average, mean, and
 /// maximum speedup" over the sweep (the paper's "average" is the ratio of
 /// summed runtimes — i.e. total-work speedup — while "mean" is the mean of
 /// per-size speedups).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SpeedupSummary {
     /// Σ baseline time / Σ improved time.
     pub average: f64,
@@ -45,6 +65,28 @@ pub struct SpeedupSummary {
     pub max: f64,
     /// Smallest pointwise speedup.
     pub min: f64,
+}
+
+impl ToJson for SpeedupSummary {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("average", Json::from(self.average)),
+            ("mean", Json::from(self.mean)),
+            ("max", Json::from(self.max)),
+            ("min", Json::from(self.min)),
+        ])
+    }
+}
+
+impl FromJson for SpeedupSummary {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            average: v.field("average")?,
+            mean: v.field("mean")?,
+            max: v.field("max")?,
+            min: v.field("min")?,
+        })
+    }
 }
 
 /// Summarize baseline-vs-improved runtimes (paired by index).

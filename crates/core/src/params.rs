@@ -9,11 +9,11 @@
 //! existing heuristic against bank conflicts, which CF-Merge makes
 //! unnecessary.
 
+use cfmerge_json::{FromJson, Json, JsonError, ToJson};
 use cfmerge_numtheory::gcd;
-use serde::{Deserialize, Serialize};
 
 /// `(E, u)` software parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SortParams {
     /// Elements per thread (`E`).
     pub e: usize,
@@ -79,6 +79,22 @@ impl SortParams {
     pub fn validate(&self, w: usize) {
         assert!(w > 0 && self.u.is_multiple_of(w), "u={} must be a multiple of w={w}", self.u);
         assert!(self.e <= w, "E={} must be at most w={w} (paper range 1 < E ≤ w)", self.e);
+    }
+}
+
+impl ToJson for SortParams {
+    fn to_json(&self) -> Json {
+        Json::obj([("e", Json::from(self.e)), ("u", Json::from(self.u))])
+    }
+}
+
+impl FromJson for SortParams {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let params = Self { e: v.field("e")?, u: v.field("u")? };
+        if params.e == 0 || params.u == 0 {
+            return Err(JsonError::new("SortParams: E and u must be positive"));
+        }
+        Ok(params)
     }
 }
 

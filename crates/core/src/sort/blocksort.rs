@@ -17,13 +17,16 @@
 //! rounds *at no extra cost*: the store of round `k` writes directly into
 //! round `k+1`'s layout (the "reorder during transfer" of Section 5).
 
-use super::kernels::{gather_merge_from_shared, serial_merge_from_shared, shared_merge_path, PairLayout};
+use super::kernels::{
+    gather_merge_from_shared, serial_merge_from_shared, shared_merge_path, PairLayout,
+};
 use crate::gather::layout::CfLayout;
-use crate::sort::key::SortKey;
 use crate::gather::schedule::ThreadSplit;
+use crate::sort::key::SortKey;
 use cfmerge_gpu_sim::banks::BankModel;
 use cfmerge_gpu_sim::block::BlockSim;
 use cfmerge_gpu_sim::profiler::{KernelProfile, PhaseClass};
+use cfmerge_gpu_sim::trace::{NullTracer, Tracer};
 use cfmerge_mergepath::networks::{oets_ops, oets_sort};
 
 /// How threads move `(Aᵢ, Bᵢ)` from shared memory to registers.
@@ -59,7 +62,7 @@ fn cf_rank_slot(r: usize, run_w: usize) -> usize {
 /// Panics unless `u` is a power-of-two multiple of the warp width and the
 /// tile slices have length `u·E`.
 #[must_use]
-#[allow(clippy::too_many_arguments, clippy::needless_range_loop)] // kernel signature mirrors the CUDA launch; loops index parallel register arrays
+#[allow(clippy::too_many_arguments)]
 pub fn blocksort_block<K: SortKey>(
     banks: BankModel,
     u: usize,
@@ -70,13 +73,49 @@ pub fn blocksort_block<K: SortKey>(
     global_base: usize,
     count_accesses: bool,
 ) -> KernelProfile {
+    blocksort_block_traced(
+        banks,
+        u,
+        e,
+        strategy,
+        src_tile,
+        dst_tile,
+        global_base,
+        count_accesses,
+        NullTracer,
+    )
+    .0
+}
+
+/// [`blocksort_block`] observed by a [`Tracer`]: identical execution, but
+/// every phase and warp round is reported to `tracer`, which is returned
+/// alongside the profile.
+///
+/// # Panics
+/// Same conditions as [`blocksort_block`].
+#[must_use]
+#[allow(clippy::too_many_arguments, clippy::needless_range_loop)] // kernel signature mirrors the CUDA launch; loops index parallel register arrays
+pub fn blocksort_block_traced<K: SortKey, Tr: Tracer>(
+    banks: BankModel,
+    u: usize,
+    e: usize,
+    strategy: MergeStrategy,
+    src_tile: &[K],
+    dst_tile: &mut [K],
+    global_base: usize,
+    count_accesses: bool,
+    tracer: Tr,
+) -> (KernelProfile, Tr) {
     let w = banks.num_banks as usize;
-    assert!(u.is_multiple_of(w) && u.is_power_of_two(), "u={u} must be a power-of-two multiple of w={w}");
+    assert!(
+        u.is_multiple_of(w) && u.is_power_of_two(),
+        "u={u} must be a power-of-two multiple of w={w}"
+    );
     let tile = u * e;
     assert_eq!(src_tile.len(), tile);
     assert_eq!(dst_tile.len(), tile);
 
-    let mut block = BlockSim::<K>::new(banks, u, tile);
+    let mut block = BlockSim::<K, Tr>::with_tracer(banks, u, tile, tracer);
     block.set_counting(count_accesses);
 
     // 1. Coalesced load.
@@ -131,11 +170,7 @@ pub fn blocksort_block<K: SortKey>(
                 a_begin[tid] = shared_merge_path(lane, &layout, local_rank);
             });
             for tid in 0..u {
-                let next = if (tid + 1) % threads_per_pair == 0 {
-                    run_w
-                } else {
-                    a_begin[tid + 1]
-                };
+                let next = if (tid + 1) % threads_per_pair == 0 { run_w } else { a_begin[tid + 1] };
                 splits[tid] = ThreadSplit { a_begin: a_begin[tid], a_len: next - a_begin[tid] };
             }
         }
@@ -198,18 +233,23 @@ pub fn blocksort_block<K: SortKey>(
         }
     });
 
-    block.profile
+    block.finish()
 }
 
-fn pair_layout(strategy: MergeStrategy, w: usize, e: usize, base: usize, run_w: usize) -> PairLayout {
+fn pair_layout(
+    strategy: MergeStrategy,
+    w: usize,
+    e: usize,
+    base: usize,
+    run_w: usize,
+) -> PairLayout {
     match strategy {
         MergeStrategy::DirectSerial => {
             PairLayout::Natural { base, a_total: run_w, total: 2 * run_w }
         }
-        MergeStrategy::Gather => PairLayout::Permuted {
-            base,
-            layout: CfLayout::reversal_only(w, e, 2 * run_w, run_w),
-        },
+        MergeStrategy::Gather => {
+            PairLayout::Permuted { base, layout: CfLayout::reversal_only(w, e, 2 * run_w, run_w) }
+        }
     }
 }
 
@@ -218,13 +258,18 @@ mod tests {
     use super::*;
     use rand::{Rng, SeedableRng};
 
-    fn run(u: usize, e: usize, w: u32, strategy: MergeStrategy, seed: u64) -> (Vec<u32>, KernelProfile) {
+    fn run(
+        u: usize,
+        e: usize,
+        w: u32,
+        strategy: MergeStrategy,
+        seed: u64,
+    ) -> (Vec<u32>, KernelProfile) {
         let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
         let tile = u * e;
         let src: Vec<u32> = (0..tile).map(|_| rng.gen_range(0..100_000)).collect();
         let mut dst = vec![0u32; tile];
-        let profile =
-            blocksort_block(BankModel::new(w), u, e, strategy, &src, &mut dst, 0, true);
+        let profile = blocksort_block(BankModel::new(w), u, e, strategy, &src, &mut dst, 0, true);
         let mut expect = src;
         expect.sort_unstable();
         assert_eq!(dst, expect, "blocksort output mismatch (u={u} E={e} w={w})");
@@ -247,11 +292,7 @@ mod tests {
     fn cf_blocksort_gather_phase_is_conflict_free_for_coprime_e() {
         for &(u, e, w) in &[(64usize, 15usize, 32u32), (64, 17, 32), (128, 5, 32), (32, 3, 8)] {
             let (_, profile) = run(u, e, w, MergeStrategy::Gather, 7);
-            assert_eq!(
-                profile.phase(PhaseClass::Gather).bank_conflicts(),
-                0,
-                "u={u} E={e} w={w}"
-            );
+            assert_eq!(profile.phase(PhaseClass::Gather).bank_conflicts(), 0, "u={u} E={e} w={w}");
             // No serial-merge phase at all in the CF pipeline.
             assert_eq!(profile.phase(PhaseClass::Merge).shared_ld_requests, 0);
         }

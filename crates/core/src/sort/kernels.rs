@@ -218,8 +218,7 @@ mod tests {
                 splits[tid].a_begin = x;
             });
             for tid in 0..u {
-                let next =
-                    if tid + 1 < u { splits[tid + 1].a_begin } else { a.len() };
+                let next = if tid + 1 < u { splits[tid + 1].a_begin } else { a.len() };
                 splits[tid].a_len = next - splits[tid].a_begin;
             }
             let mut out = vec![vec![0u32; e]; u];

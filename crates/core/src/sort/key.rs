@@ -145,16 +145,11 @@ mod tests {
         use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::SmallRng::seed_from_u64(0xF10A7);
         let cfg = super::super::pipeline::SortConfig::with_params(SortParams::new(5, 32));
-        let mut input: Vec<f32> =
-            (0..2000).map(|_| f32::from_bits(rng.gen::<u32>())).collect();
+        let mut input: Vec<f32> = (0..2000).map(|_| f32::from_bits(rng.gen::<u32>())).collect();
         input.push(f32::NAN);
         input.push(-0.0);
         input.push(0.0);
-        let run = simulate_sort_f32(
-            &input,
-            super::super::pipeline::SortAlgorithm::CfMerge,
-            &cfg,
-        );
+        let run = simulate_sort_f32(&input, super::super::pipeline::SortAlgorithm::CfMerge, &cfg);
         let mut expect = input.clone();
         expect.sort_by(f32::total_cmp);
         assert_eq!(run.output.len(), expect.len());

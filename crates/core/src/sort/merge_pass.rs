@@ -11,13 +11,16 @@
 //! replaced by the conflict-free gather + register network.
 
 use super::blocksort::MergeStrategy;
-use super::kernels::{gather_merge_from_shared, serial_merge_from_shared, shared_merge_path, PairLayout};
+use super::kernels::{
+    gather_merge_from_shared, serial_merge_from_shared, shared_merge_path, PairLayout,
+};
 use crate::gather::layout::CfLayout;
-use crate::sort::key::SortKey;
 use crate::gather::schedule::ThreadSplit;
+use crate::sort::key::SortKey;
 use cfmerge_gpu_sim::banks::BankModel;
 use cfmerge_gpu_sim::block::BlockSim;
 use cfmerge_gpu_sim::profiler::{KernelProfile, PhaseClass};
+use cfmerge_gpu_sim::trace::{NullTracer, Tracer};
 
 /// One block's work item in a merge pass: absolute element ranges in the
 /// source buffer for its `A` and `B` parts, and the absolute output base.
@@ -55,7 +58,7 @@ impl MergeChunkJob {
 /// Panics if the job's total is not exactly `u·E` or `u` is not a
 /// power-of-two multiple of the warp width.
 #[must_use]
-#[allow(clippy::too_many_arguments, clippy::needless_range_loop)] // kernel signature mirrors the CUDA launch; loops index parallel register arrays
+#[allow(clippy::too_many_arguments)]
 pub fn merge_pass_block<K: SortKey>(
     banks: BankModel,
     u: usize,
@@ -66,6 +69,29 @@ pub fn merge_pass_block<K: SortKey>(
     dst_chunk: &mut [K],
     count_accesses: bool,
 ) -> KernelProfile {
+    merge_pass_block_traced(banks, u, e, strategy, src, job, dst_chunk, count_accesses, NullTracer)
+        .0
+}
+
+/// [`merge_pass_block`] observed by a [`Tracer`]: identical execution,
+/// with every phase and warp round reported to `tracer`, which is
+/// returned alongside the profile.
+///
+/// # Panics
+/// Same conditions as [`merge_pass_block`].
+#[must_use]
+#[allow(clippy::too_many_arguments, clippy::needless_range_loop)] // kernel signature mirrors the CUDA launch; loops index parallel register arrays
+pub fn merge_pass_block_traced<K: SortKey, Tr: Tracer>(
+    banks: BankModel,
+    u: usize,
+    e: usize,
+    strategy: MergeStrategy,
+    src: &[K],
+    job: MergeChunkJob,
+    dst_chunk: &mut [K],
+    count_accesses: bool,
+    tracer: Tr,
+) -> (KernelProfile, Tr) {
     let w = banks.num_banks as usize;
     assert!(u.is_multiple_of(w), "u={u} must be a multiple of w={w}");
     let tile = u * e;
@@ -73,7 +99,7 @@ pub fn merge_pass_block<K: SortKey>(
     assert_eq!(dst_chunk.len(), tile);
     let a_len = job.a_len();
 
-    let mut block = BlockSim::<K>::new(banks, u, tile);
+    let mut block = BlockSim::<K, Tr>::with_tracer(banks, u, tile, tracer);
     block.set_counting(count_accesses);
 
     let layout = match strategy {
@@ -147,7 +173,7 @@ pub fn merge_pass_block<K: SortKey>(
         }
     });
 
-    block.profile
+    block.finish()
 }
 
 #[cfg(test)]

@@ -52,11 +52,8 @@ pub fn sort_pairs_stable(
 ) -> PairSortRun {
     assert_eq!(keys.len(), values.len(), "one value per key");
     assert!(keys.len() <= u32::MAX as usize, "index tiebreak is 32-bit");
-    let packed: Vec<u64> = keys
-        .iter()
-        .enumerate()
-        .map(|(i, &k)| (u64::from(k) << 32) | i as u64)
-        .collect();
+    let packed: Vec<u64> =
+        keys.iter().enumerate().map(|(i, &k)| (u64::from(k) << 32) | i as u64).collect();
     let run = simulate_sort_keys::<u64>(&packed, algo, config);
     let mut out_keys = Vec::with_capacity(keys.len());
     let mut out_values = Vec::with_capacity(values.len());

@@ -7,14 +7,16 @@
 //! independent, so each pass fans out with rayon and merges the per-block
 //! profiles.
 
-use super::blocksort::{blocksort_block, MergeStrategy};
+use super::blocksort::{blocksort_block_traced, MergeStrategy};
 use super::key::SortKey;
-use super::merge_pass::{merge_pass_block, MergeChunkJob};
+use super::merge_pass::{merge_pass_block_traced, MergeChunkJob};
 use crate::params::SortParams;
 use cfmerge_gpu_sim::device::Device;
 use cfmerge_gpu_sim::occupancy::{mergesort_regs_estimate, BlockResources};
 use cfmerge_gpu_sim::profiler::{KernelProfile, PhaseClass};
 use cfmerge_gpu_sim::timing::{LaunchConfig, TimeBreakdown, TimingModel};
+use cfmerge_gpu_sim::trace::{BlockTracer, KernelTrace, NullTracer, SortTrace, Tracer};
+use cfmerge_json::{FromJson, Json, JsonError, ToJson};
 use cfmerge_mergepath::diagonal::merge_path_steps;
 use cfmerge_mergepath::partition::partition_merge;
 use rayon::prelude::*;
@@ -149,6 +151,16 @@ impl<K> SortRun<K> {
     }
 }
 
+/// A sort run together with its recorded execution trace.
+#[derive(Debug, Clone)]
+pub struct TracedSortRun<K = u32> {
+    /// The run itself: output, profile, modeled timing.
+    pub run: SortRun<K>,
+    /// The structured trace: per-kernel, per-block timelines with
+    /// conflict rounds (export with [`SortTrace::perfetto_json`]).
+    pub trace: SortTrace,
+}
+
 /// Sort `input` on the simulated GPU with the chosen pipeline.
 ///
 /// # Panics
@@ -170,6 +182,69 @@ pub fn simulate_sort_keys<K: SortKey>(
     algo: SortAlgorithm,
     config: &SortConfig,
 ) -> SortRun<K> {
+    simulate_sort_impl(input, algo, config, &|| NullTracer).0
+}
+
+/// [`simulate_sort`] with full structured tracing: every thread block of
+/// every launch records its phase timeline and conflicted rounds into a
+/// [`SortTrace`] (see `cfmerge_gpu_sim::trace`).
+///
+/// # Panics
+/// Same conditions as [`simulate_sort`].
+#[must_use]
+pub fn simulate_sort_traced(
+    input: &[u32],
+    algo: SortAlgorithm,
+    config: &SortConfig,
+) -> TracedSortRun {
+    simulate_sort_keys_traced::<u32>(input, algo, config)
+}
+
+/// Generic-key variant of [`simulate_sort_traced`].
+///
+/// # Panics
+/// Same conditions as [`simulate_sort`].
+#[must_use]
+pub fn simulate_sort_keys_traced<K: SortKey>(
+    input: &[K],
+    algo: SortAlgorithm,
+    config: &SortConfig,
+) -> TracedSortRun<K> {
+    let banks = config.device.bank_model();
+    let (run, tracers) = simulate_sort_impl(input, algo, config, &move || BlockTracer::new(banks));
+    let kernels = run
+        .kernels
+        .iter()
+        .zip(tracers)
+        .map(|(k, blocks)| KernelTrace {
+            name: k.name.clone(),
+            grid_blocks: k.blocks,
+            seconds: k.time.seconds,
+            blocks,
+        })
+        .collect();
+    let trace = SortTrace {
+        label: format!("{}/E={},u={}/n={}", algo.label(), config.params.e, config.params.u, run.n),
+        num_banks: config.device.warp_width,
+        kernels,
+    };
+    TracedSortRun { run, trace }
+}
+
+/// Shared driver: runs the pipeline, handing each simulated block a fresh
+/// tracer from `make_tracer` and returning the per-kernel tracer sets
+/// aligned with `SortRun::kernels`. Monomorphizes to the untraced engine
+/// when `Tr` is [`NullTracer`].
+fn simulate_sort_impl<K: SortKey, Tr, F>(
+    input: &[K],
+    algo: SortAlgorithm,
+    config: &SortConfig,
+    make_tracer: &F,
+) -> (SortRun<K>, Vec<Vec<Tr>>)
+where
+    Tr: Tracer + Send,
+    F: Fn() -> Tr + Sync,
+{
     let w = config.device.warp_width as usize;
     let (e, u) = (config.params.e, config.params.u);
     config.params.validate(w);
@@ -179,13 +254,16 @@ pub fn simulate_sort_keys<K: SortKey>(
     let tile = u * e;
     let n = input.len();
     if n == 0 {
-        return SortRun {
-            output: Vec::new(),
-            profile: KernelProfile::new(),
-            simulated_seconds: 0.0,
-            kernels: Vec::new(),
-            n: 0,
-        };
+        return (
+            SortRun {
+                output: Vec::new(),
+                profile: KernelProfile::new(),
+                simulated_seconds: 0.0,
+                kernels: Vec::new(),
+                n: 0,
+            },
+            Vec::new(),
+        );
     }
 
     // Pad to a power-of-two number of tiles.
@@ -196,15 +274,16 @@ pub fn simulate_sort_keys<K: SortKey>(
     let mut dst = vec![K::default(); n_pad];
 
     let mut kernels: Vec<KernelReport> = Vec::new();
+    let mut kernel_tracers: Vec<Vec<Tr>> = Vec::new();
 
     // ---- Phase 1: block sort ----
     {
-        let profiles: Vec<KernelProfile> = src
+        let results: Vec<(KernelProfile, Tr)> = src
             .par_chunks(tile)
             .zip(dst.par_chunks_mut(tile))
             .enumerate()
             .map(|(t, (s, d))| {
-                blocksort_block(
+                blocksort_block_traced(
                     banks,
                     u,
                     e,
@@ -213,16 +292,20 @@ pub fn simulate_sort_keys<K: SortKey>(
                     d,
                     t * tile,
                     config.count_accesses,
+                    make_tracer(),
                 )
             })
             .collect();
         let mut profile = KernelProfile::new();
-        for p in &profiles {
-            profile.merge(p);
+        let mut tracers = Vec::with_capacity(results.len());
+        for (p, t) in results {
+            profile.merge(&p);
+            tracers.push(t);
         }
         let launch = config.launch(runs as u64);
         let time = config.timing.kernel_time(&config.device, &profile.total(), &launch);
         kernels.push(KernelReport { name: "blocksort".into(), blocks: runs as u64, profile, time });
+        kernel_tracers.push(tracers);
         std::mem::swap(&mut src, &mut dst);
     }
 
@@ -258,21 +341,34 @@ pub fn simulate_sort_keys<K: SortKey>(
                 s.alu_ops += blocks_in_pair * steps * 6;
             }
         }
-        let profiles: Vec<KernelProfile> = jobs
+        let results: Vec<(KernelProfile, Tr)> = jobs
             .par_iter()
             .zip(dst.par_chunks_mut(tile))
             .map(|(job, chunk)| {
-                merge_pass_block(banks, u, e, strategy, &src, *job, chunk, config.count_accesses)
+                merge_pass_block_traced(
+                    banks,
+                    u,
+                    e,
+                    strategy,
+                    &src,
+                    *job,
+                    chunk,
+                    config.count_accesses,
+                    make_tracer(),
+                )
             })
             .collect();
         let mut profile = search_cost;
-        for p in &profiles {
-            profile.merge(p);
+        let mut tracers = Vec::with_capacity(results.len());
+        for (p, t) in results {
+            profile.merge(&p);
+            tracers.push(t);
         }
         let blocks = jobs.len() as u64;
         let launch = config.launch(blocks);
         let time = config.timing.kernel_time(&config.device, &profile.total(), &launch);
         kernels.push(KernelReport { name: format!("merge-pass-{pass}"), blocks, profile, time });
+        kernel_tracers.push(tracers);
         std::mem::swap(&mut src, &mut dst);
         width = pair;
         pass += 1;
@@ -285,7 +381,29 @@ pub fn simulate_sort_keys<K: SortKey>(
         profile.merge(&k.profile);
         seconds += k.time.seconds;
     }
-    SortRun { output: src, profile, simulated_seconds: seconds, kernels, n }
+    (SortRun { output: src, profile, simulated_seconds: seconds, kernels, n }, kernel_tracers)
+}
+
+impl ToJson for KernelReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::from(self.name.as_str())),
+            ("blocks", Json::from(self.blocks)),
+            ("profile", self.profile.to_json()),
+            ("time", self.time.to_json()),
+        ])
+    }
+}
+
+impl FromJson for KernelReport {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            name: v.field("name")?,
+            blocks: v.field("blocks")?,
+            profile: v.field("profile")?,
+            time: v.field("time")?,
+        })
+    }
 }
 
 #[cfg(test)]

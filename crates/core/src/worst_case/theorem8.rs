@@ -110,11 +110,7 @@ mod tests {
                 if p.q == 1 {
                     let num = e_ * e_ + 2 * e_ * r + e_ * d - r * r - r * d;
                     assert_eq!(num % 2, 0, "w={w} E={e}");
-                    assert_eq!(
-                        predicted_warp_conflicts(w, e) as i128,
-                        num / 2,
-                        "w={w} E={e}"
-                    );
+                    assert_eq!(predicted_warp_conflicts(w, e) as i128, num / 2, "w={w} E={e}");
                 }
                 assert_eq!(e_ * e_ % d, 0);
                 assert_eq!(r % d, 0);

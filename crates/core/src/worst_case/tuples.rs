@@ -281,13 +281,7 @@ mod tests {
             // the ceiling).
             let ed = p.e / p.d;
             if ed >= 2 {
-                assert_eq!(
-                    a_total,
-                    ed.div_ceil(2) * p.d * p.w / p.d,
-                    "w={} E={}",
-                    p.w,
-                    p.e
-                );
+                assert_eq!(a_total, ed.div_ceil(2) * p.d * p.w / p.d, "w={} E={}", p.w, p.e);
             }
         }
     }

@@ -12,14 +12,26 @@
 //! [`BankModel::round_cost`] implements this exactly, and is the single
 //! function every conflict number in this repository flows through.
 
-use serde::{Deserialize, Serialize};
+use cfmerge_json::{FromJson, Json, JsonError, ToJson};
 
 /// Static description of a shared-memory bank layout.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BankModel {
     /// Number of banks `w` (32 on all modern NVIDIA GPUs; the paper's
     /// figures use 12, 9, and 6 for legibility).
     pub num_banks: u32,
+}
+
+impl ToJson for BankModel {
+    fn to_json(&self) -> Json {
+        Json::obj([("num_banks", Json::from(self.num_banks))])
+    }
+}
+
+impl FromJson for BankModel {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Self { num_banks: v.field("num_banks")? })
+    }
 }
 
 /// Cost of one warp-wide lock-step shared-memory access.
@@ -90,10 +102,7 @@ impl BankModel {
         // Spill storage for banks with ≥2 distinct words: (bank, word).
         let mut spill: [(u32, u32); MAX_BANKS] = [(0, 0); MAX_BANKS];
         let mut spill_len = 0usize;
-        assert!(
-            w <= MAX_BANKS,
-            "BankModel supports at most {MAX_BANKS} banks, got {w}"
-        );
+        assert!(w <= MAX_BANKS, "BankModel supports at most {MAX_BANKS} banks, got {w}");
 
         let mut max_distinct = 0u8;
         for &addr in addrs {

@@ -28,6 +28,7 @@
 use crate::banks::{BankModel, RoundCost};
 use crate::global::sectors_touched;
 use crate::profiler::{KernelProfile, PhaseClass};
+use crate::trace::{GlobalRoundEvent, NullTracer, SharedRoundEvent, Tracer};
 
 /// One recorded shared-memory access.
 #[derive(Debug, Clone, Copy)]
@@ -68,7 +69,11 @@ pub struct WarpPhaseLog {
 }
 
 /// Simulated thread block: `u` threads over a shared-memory array of `T`.
-pub struct BlockSim<T: Copy> {
+///
+/// The second type parameter is the [`Tracer`] observing execution; the
+/// default [`NullTracer`] compiles its hooks away entirely, so untraced
+/// blocks are identical to the pre-tracing engine.
+pub struct BlockSim<T: Copy, Tr: Tracer = NullTracer> {
     banks: BankModel,
     /// Threads per block (`u` in the paper; must be a multiple of `w`).
     u: usize,
@@ -83,19 +88,31 @@ pub struct BlockSim<T: Copy> {
     /// Per-warp round logs of all phases run since construction (only
     /// populated when round logging is on).
     pub logs: Vec<WarpPhaseLog>,
+    tracer: Tr,
     // Reusable scratch (one slot per lane of a warp).
     shared_traces: Vec<Vec<SharedAcc>>,
     global_traces: Vec<Vec<GlobalAcc>>,
 }
 
 impl<T: Copy + Default> BlockSim<T> {
-    /// New block: `u` threads, shared memory of `shared_len` words, warp
-    /// width / bank count from `banks`.
+    /// New untraced block: `u` threads, shared memory of `shared_len`
+    /// words, warp width / bank count from `banks`.
     ///
     /// # Panics
     /// Panics if `u` is zero or not a multiple of the warp width.
     #[must_use]
     pub fn new(banks: BankModel, u: usize, shared_len: usize) -> Self {
+        Self::with_tracer(banks, u, shared_len, NullTracer)
+    }
+}
+
+impl<T: Copy + Default, Tr: Tracer> BlockSim<T, Tr> {
+    /// New block observed by `tracer` (see [`crate::trace`]).
+    ///
+    /// # Panics
+    /// Panics if `u` is zero or not a multiple of the warp width.
+    #[must_use]
+    pub fn with_tracer(banks: BankModel, u: usize, shared_len: usize, tracer: Tr) -> Self {
         let w = banks.num_banks as usize;
         assert!(u > 0 && u.is_multiple_of(w), "u={u} must be a positive multiple of w={w}");
         Self {
@@ -109,13 +126,33 @@ impl<T: Copy + Default> BlockSim<T> {
             counting: true,
             log_rounds: false,
             logs: Vec::new(),
+            tracer,
             shared_traces: vec![Vec::new(); w],
             global_traces: vec![Vec::new(); w],
         }
     }
 }
 
-impl<T: Copy> BlockSim<T> {
+impl<T: Copy, Tr: Tracer> BlockSim<T, Tr> {
+    /// The tracer observing this block.
+    #[must_use]
+    pub fn tracer(&self) -> &Tr {
+        &self.tracer
+    }
+
+    /// Consume the block and return its tracer (for recorders).
+    #[must_use]
+    pub fn into_tracer(self) -> Tr {
+        self.tracer
+    }
+
+    /// Consume the block, returning its accumulated profile and tracer —
+    /// the pair a traced kernel hands back to its launcher.
+    #[must_use]
+    pub fn finish(self) -> (KernelProfile, Tr) {
+        (self.profile, self.tracer)
+    }
+
     /// Warp width `w`.
     #[must_use]
     pub fn warp_width(&self) -> usize {
@@ -165,6 +202,7 @@ impl<T: Copy> BlockSim<T> {
         F: FnMut(usize, &mut LaneCtx<'_, T>),
     {
         self.epoch = self.epoch.wrapping_add(1);
+        self.tracer.phase_begin(class);
         let w = self.warp_width();
         let warps = self.warps();
         let mut alu_total = 0u64;
@@ -200,12 +238,20 @@ impl<T: Copy> BlockSim<T> {
             }
         }
         self.profile.phase_mut(class).alu_ops += alu_total;
+        if alu_total > 0 {
+            self.tracer.alu(class, alu_total);
+        }
+        self.tracer.phase_end(class);
     }
 
     /// Convenience: run a phase with no memory side effects, charging only
     /// `alu` operations per thread (e.g. register-space sorting networks).
     pub fn alu_phase(&mut self, class: PhaseClass, ops_per_thread: u64) {
-        self.profile.phase_mut(class).alu_ops += ops_per_thread * self.u as u64;
+        let ops = ops_per_thread * self.u as u64;
+        self.profile.phase_mut(class).alu_ops += ops;
+        self.tracer.phase_begin(class);
+        self.tracer.alu(class, ops);
+        self.tracer.phase_end(class);
     }
 
     fn account_warp(&mut self, class: PhaseClass, warp: usize) {
@@ -241,9 +287,16 @@ impl<T: Copy> BlockSim<T> {
             }
             let ld_cost = self.banks.round_cost(&ld_buf);
             let st_cost = self.banks.round_cost(&st_buf);
-            if matches!(class, PhaseClass::Merge | PhaseClass::Gather)
-                && ld_cost.active_lanes > 0
-            {
+            self.tracer.shared_round(&SharedRoundEvent {
+                class,
+                warp,
+                round: r,
+                loads: &ld_buf,
+                stores: &st_buf,
+                ld_cost,
+                st_cost,
+            });
+            if matches!(class, PhaseClass::Merge | PhaseClass::Gather) && ld_cost.active_lanes > 0 {
                 self.profile.merge_degree_hist.record(ld_cost.transactions);
             }
             let c = self.profile.phase_mut(class);
@@ -284,15 +337,26 @@ impl<T: Copy> BlockSim<T> {
                     }
                 }
             }
+            let ld_sectors = sectors_touched(&gld);
+            let st_sectors = sectors_touched(&gst);
             let c = self.profile.phase_mut(class);
             if !gld.is_empty() {
                 c.global_ld_requests += 1;
-                c.global_ld_sectors += sectors_touched(&gld);
+                c.global_ld_sectors += ld_sectors;
             }
             if !gst.is_empty() {
                 c.global_st_requests += 1;
-                c.global_st_sectors += sectors_touched(&gst);
+                c.global_st_sectors += st_sectors;
             }
+            self.tracer.global_round(&GlobalRoundEvent {
+                class,
+                warp,
+                round: r,
+                ld_lanes: gld.len() as u32,
+                st_lanes: gst.len() as u32,
+                ld_sectors,
+                st_sectors,
+            });
         }
     }
 }

@@ -6,10 +6,10 @@
 //! uses, a 64K-register file per SM, and ~616 GB/s of DRAM bandwidth.
 
 use crate::banks::BankModel;
-use serde::{Deserialize, Serialize};
+use cfmerge_json::{FromJson, Json, JsonError, ToJson};
 
 /// Static description of a simulated GPU.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Device {
     /// Marketing name, for reports.
     pub name: String,
@@ -101,6 +101,42 @@ impl Device {
     #[must_use]
     pub fn bank_model(&self) -> BankModel {
         BankModel::new(self.warp_width)
+    }
+}
+
+impl ToJson for Device {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("name", Json::from(self.name.as_str())),
+            ("sm_count", Json::from(self.sm_count)),
+            ("clock_hz", Json::from(self.clock_hz)),
+            ("mem_bandwidth", Json::from(self.mem_bandwidth)),
+            ("warp_width", Json::from(self.warp_width)),
+            ("max_threads_per_sm", Json::from(self.max_threads_per_sm)),
+            ("max_warps_per_sm", Json::from(self.max_warps_per_sm)),
+            ("max_blocks_per_sm", Json::from(self.max_blocks_per_sm)),
+            ("shared_per_sm", Json::from(self.shared_per_sm)),
+            ("regfile_per_sm", Json::from(self.regfile_per_sm)),
+            ("max_regs_per_thread", Json::from(self.max_regs_per_thread)),
+        ])
+    }
+}
+
+impl FromJson for Device {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            name: v.field("name")?,
+            sm_count: v.field("sm_count")?,
+            clock_hz: v.field("clock_hz")?,
+            mem_bandwidth: v.field("mem_bandwidth")?,
+            warp_width: v.field("warp_width")?,
+            max_threads_per_sm: v.field("max_threads_per_sm")?,
+            max_warps_per_sm: v.field("max_warps_per_sm")?,
+            max_blocks_per_sm: v.field("max_blocks_per_sm")?,
+            shared_per_sm: v.field("shared_per_sm")?,
+            regfile_per_sm: v.field("regfile_per_sm")?,
+            max_regs_per_thread: v.field("max_regs_per_thread")?,
+        })
     }
 }
 

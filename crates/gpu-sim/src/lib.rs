@@ -21,6 +21,9 @@
 //! * [`device`] — device presets (RTX 2080 Ti-like; tiny teaching devices
 //!   for the paper's `w = 12`/`w = 9`/`w = 6` figures).
 //! * [`stats`] — running summaries and conflict-degree histograms.
+//! * [`trace`] — structured tracing: a zero-cost [`trace::Tracer`] hook in
+//!   the block engine, a Chrome-trace-event/Perfetto exporter, and
+//!   conflict forensics (see docs/OBSERVABILITY.md).
 //!
 //! The simulator is *exact* for conflict counts (they are a deterministic
 //! function of the addresses issued per lock-step round) and *modeled* for
@@ -48,6 +51,7 @@ pub mod occupancy;
 pub mod profiler;
 pub mod stats;
 pub mod timing;
+pub mod trace;
 
 pub use banks::{BankModel, RoundCost};
 pub use block::{BlockSim, LaneCtx};
@@ -55,3 +59,4 @@ pub use device::Device;
 pub use occupancy::{occupancy, BlockResources, Occupancy};
 pub use profiler::{KernelProfile, PhaseClass, PhaseCounters};
 pub use timing::{LaunchConfig, TimeBreakdown, TimingModel};
+pub use trace::{BlockTracer, ConflictForensics, KernelTrace, NullTracer, SortTrace, Tracer};

@@ -10,10 +10,10 @@
 //! to 3 blocks = 24 of 32 warps = 75%).
 
 use crate::device::Device;
-use serde::{Deserialize, Serialize};
+use cfmerge_json::{FromJson, Json, JsonError, ToJson};
 
 /// Which resource limits residency.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Limiter {
     /// `max_threads_per_sm / u`.
     Threads,
@@ -27,8 +27,50 @@ pub enum Limiter {
     Registers,
 }
 
+impl Limiter {
+    /// Short label used in reports and artifacts.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Limiter::Threads => "threads",
+            Limiter::Warps => "warps",
+            Limiter::Blocks => "blocks",
+            Limiter::SharedMemory => "shared-memory",
+            Limiter::Registers => "registers",
+        }
+    }
+
+    /// Inverse of [`Limiter::label`].
+    #[must_use]
+    pub fn from_label(label: &str) -> Option<Limiter> {
+        [
+            Limiter::Threads,
+            Limiter::Warps,
+            Limiter::Blocks,
+            Limiter::SharedMemory,
+            Limiter::Registers,
+        ]
+        .into_iter()
+        .find(|l| l.label() == label)
+    }
+}
+
+impl ToJson for Limiter {
+    fn to_json(&self) -> Json {
+        Json::from(self.label())
+    }
+}
+
+impl FromJson for Limiter {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let label = v.as_str().ok_or_else(|| JsonError::new("expected limiter label string"))?;
+        Limiter::from_label(label)
+            .ok_or_else(|| JsonError::new(format!("unknown limiter {label:?}")))
+    }
+}
+
 /// Result of an occupancy query.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Occupancy {
     /// Blocks resident per SM.
     pub blocks_per_sm: u32,
@@ -40,8 +82,30 @@ pub struct Occupancy {
     pub limiter: Limiter,
 }
 
+impl ToJson for Occupancy {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("blocks_per_sm", Json::from(self.blocks_per_sm)),
+            ("warps_per_sm", Json::from(self.warps_per_sm)),
+            ("fraction", Json::from(self.fraction)),
+            ("limiter", self.limiter.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Occupancy {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            blocks_per_sm: v.field("blocks_per_sm")?,
+            warps_per_sm: v.field("warps_per_sm")?,
+            fraction: v.field("fraction")?,
+            limiter: v.field("limiter")?,
+        })
+    }
+}
+
 /// Per-block resource demand of a kernel launch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BlockResources {
     /// Threads per block (`u`).
     pub threads: u32,
@@ -51,18 +115,57 @@ pub struct BlockResources {
     pub regs_per_thread: u32,
 }
 
+impl ToJson for BlockResources {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("threads", Json::from(self.threads)),
+            ("shared_bytes", Json::from(self.shared_bytes)),
+            ("regs_per_thread", Json::from(self.regs_per_thread)),
+        ])
+    }
+}
+
+impl FromJson for BlockResources {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            threads: v.field("threads")?,
+            shared_bytes: v.field("shared_bytes")?,
+            regs_per_thread: v.field("regs_per_thread")?,
+        })
+    }
+}
+
 /// Compute theoretical occupancy of `res` on `dev`.
 ///
 /// # Panics
 /// Panics if `res.threads` is zero, not a multiple of the warp width, or
 /// singly exceeds a device limit (such a kernel cannot launch at all).
+/// Use [`try_occupancy`] to handle non-launchable configurations.
 #[must_use]
 pub fn occupancy(dev: &Device, res: &BlockResources) -> Occupancy {
+    match try_occupancy(dev, res) {
+        Ok(occ) => occ,
+        Err(why) => panic!("{why}"),
+    }
+}
+
+/// Non-panicking variant of [`occupancy`]: returns `Err` with the reason a
+/// single block of `res` cannot launch on `dev` at all (parameter sweeps
+/// legitimately include such configurations and should report, not crash).
+pub fn try_occupancy(dev: &Device, res: &BlockResources) -> Result<Occupancy, &'static str> {
     let w = dev.warp_width;
-    assert!(res.threads > 0 && res.threads.is_multiple_of(w), "u must be a multiple of w");
-    assert!(res.threads <= dev.max_threads_per_sm, "block larger than an SM allows");
-    assert!(res.shared_bytes <= dev.shared_per_sm, "tile exceeds shared memory");
-    assert!(res.regs_per_thread <= dev.max_regs_per_thread, "register demand too high");
+    if res.threads == 0 || !res.threads.is_multiple_of(w) {
+        return Err("u must be a multiple of w");
+    }
+    if res.threads > dev.max_threads_per_sm {
+        return Err("block larger than an SM allows");
+    }
+    if res.shared_bytes > dev.shared_per_sm {
+        return Err("tile exceeds shared memory");
+    }
+    if res.regs_per_thread > dev.max_regs_per_thread {
+        return Err("register demand too high");
+    }
 
     let warps_per_block = res.threads / w;
     let mut candidates = [
@@ -74,9 +177,7 @@ pub fn occupancy(dev: &Device, res: &BlockResources) -> Occupancy {
             Limiter::SharedMemory,
         ),
         (
-            dev.regfile_per_sm
-                .checked_div(res.regs_per_thread * res.threads)
-                .unwrap_or(u32::MAX),
+            dev.regfile_per_sm.checked_div(res.regs_per_thread * res.threads).unwrap_or(u32::MAX),
             Limiter::Registers,
         ),
     ];
@@ -85,12 +186,12 @@ pub fn occupancy(dev: &Device, res: &BlockResources) -> Occupancy {
     candidates.sort_by_key(|&(b, _)| b);
     let (blocks, limiter) = candidates[0];
     let warps = blocks * warps_per_block;
-    Occupancy {
+    Ok(Occupancy {
         blocks_per_sm: blocks,
         warps_per_sm: warps,
         fraction: f64::from(warps) / f64::from(dev.max_warps_per_sm),
         limiter,
-    }
+    })
 }
 
 /// Rough register-demand estimate for the mergesort kernels: `E` keys held
@@ -145,10 +246,8 @@ mod tests {
     #[test]
     fn block_slots_limit_small_blocks() {
         let dev = Device::rtx2080ti();
-        let occ = occupancy(
-            &dev,
-            &BlockResources { threads: 32, shared_bytes: 0, regs_per_thread: 16 },
-        );
+        let occ =
+            occupancy(&dev, &BlockResources { threads: 32, shared_bytes: 0, regs_per_thread: 16 });
         assert_eq!(occ.blocks_per_sm, 16);
         assert_eq!(occ.limiter, Limiter::Blocks);
         assert!((occ.fraction - 0.5).abs() < 1e-12);
@@ -170,7 +269,23 @@ mod tests {
     #[should_panic(expected = "multiple of w")]
     fn odd_block_size_rejected() {
         let dev = Device::rtx2080ti();
-        let _ = occupancy(&dev, &BlockResources { threads: 48, shared_bytes: 0, regs_per_thread: 32 });
+        let _ =
+            occupancy(&dev, &BlockResources { threads: 48, shared_bytes: 0, regs_per_thread: 32 });
+    }
+
+    #[test]
+    fn try_occupancy_reports_unlaunchable_configs() {
+        let dev = Device::rtx2080ti();
+        // u = 1024, E = 17: 69632 B tile does not fit in 64 KiB shared.
+        let res = BlockResources {
+            threads: 1024,
+            shared_bytes: tile_bytes(1024, 17),
+            regs_per_thread: mergesort_regs_estimate(17),
+        };
+        assert_eq!(try_occupancy(&dev, &res), Err("tile exceeds shared memory"));
+        // And a launchable one matches the panicking entry point.
+        let res = BlockResources { threads: 512, shared_bytes: 1024, regs_per_thread: 32 };
+        assert_eq!(try_occupancy(&dev, &res), Ok(occupancy(&dev, &res)));
     }
 
     #[test]

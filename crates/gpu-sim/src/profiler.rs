@@ -9,14 +9,14 @@
 //! than a whole-kernel aggregate.
 
 use crate::stats::DegreeHistogram;
-use serde::{Deserialize, Serialize};
+use cfmerge_json::{FromJson, Json, JsonError, ToJson};
 
 /// The logical phase a shared/global access belongs to.
 ///
 /// Phases correspond to the barrier-delimited sections of the mergesort
 /// kernels; they exist purely for accounting (the timing model charges all
 /// phases identically).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PhaseClass {
     /// Global → shared tile load (possibly applying the CF permutation).
     LoadTile,
@@ -85,10 +85,30 @@ impl PhaseClass {
             PhaseClass::Other => "other",
         }
     }
+
+    /// Inverse of [`PhaseClass::label`].
+    #[must_use]
+    pub fn from_label(label: &str) -> Option<PhaseClass> {
+        PhaseClass::all().into_iter().find(|c| c.label() == label)
+    }
+}
+
+impl ToJson for PhaseClass {
+    fn to_json(&self) -> Json {
+        Json::from(self.label())
+    }
+}
+
+impl FromJson for PhaseClass {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let label = v.as_str().ok_or_else(|| JsonError::new("expected phase label string"))?;
+        PhaseClass::from_label(label)
+            .ok_or_else(|| JsonError::new(format!("unknown phase label {label:?}")))
+    }
 }
 
 /// Raw counters for one phase class.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PhaseCounters {
     /// Warp-level shared-memory load instructions issued.
     pub shared_ld_requests: u64,
@@ -148,6 +168,13 @@ impl PhaseCounters {
         self.global_ld_sectors + self.global_st_sectors
     }
 
+    /// True when every counter is zero (such phases are omitted from
+    /// JSON artifacts).
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        *self == PhaseCounters::default()
+    }
+
     /// Element-wise accumulation.
     pub fn add(&mut self, other: &PhaseCounters) {
         self.shared_ld_requests += other.shared_ld_requests;
@@ -163,7 +190,7 @@ impl PhaseCounters {
 }
 
 /// Per-phase counters for one kernel launch (or an aggregate of many).
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct KernelProfile {
     counters: [PhaseCounters; PhaseClass::COUNT],
     /// Distribution of per-round transaction degrees in the merge and
@@ -239,6 +266,72 @@ impl KernelProfile {
     }
 }
 
+impl ToJson for PhaseCounters {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("shared_ld_requests", Json::from(self.shared_ld_requests)),
+            ("shared_ld_transactions", Json::from(self.shared_ld_transactions)),
+            ("shared_st_requests", Json::from(self.shared_st_requests)),
+            ("shared_st_transactions", Json::from(self.shared_st_transactions)),
+            ("global_ld_requests", Json::from(self.global_ld_requests)),
+            ("global_ld_sectors", Json::from(self.global_ld_sectors)),
+            ("global_st_requests", Json::from(self.global_st_requests)),
+            ("global_st_sectors", Json::from(self.global_st_sectors)),
+            ("alu_ops", Json::from(self.alu_ops)),
+            ("bank_conflicts", Json::from(self.bank_conflicts())),
+        ])
+    }
+}
+
+impl FromJson for PhaseCounters {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            shared_ld_requests: v.field("shared_ld_requests")?,
+            shared_ld_transactions: v.field("shared_ld_transactions")?,
+            shared_st_requests: v.field("shared_st_requests")?,
+            shared_st_transactions: v.field("shared_st_transactions")?,
+            global_ld_requests: v.field("global_ld_requests")?,
+            global_ld_sectors: v.field("global_ld_sectors")?,
+            global_st_requests: v.field("global_st_requests")?,
+            global_st_sectors: v.field("global_st_sectors")?,
+            alu_ops: v.field("alu_ops")?,
+        })
+    }
+}
+
+impl ToJson for KernelProfile {
+    /// Phases with all-zero counters are omitted; `bank_conflicts` on each
+    /// phase is derived on write for human readability and ignored on read.
+    fn to_json(&self) -> Json {
+        let phases = PhaseClass::all()
+            .into_iter()
+            .filter(|&c| !self.phase(c).is_zero())
+            .map(|c| (c.label().to_owned(), self.phase(c).to_json()));
+        Json::obj([
+            ("phases", Json::Obj(phases.collect())),
+            ("merge_degree_hist", self.merge_degree_hist.to_json()),
+            ("merge_bank_conflicts", Json::from(self.merge_bank_conflicts())),
+            ("total_bank_conflicts", Json::from(self.total_bank_conflicts())),
+        ])
+    }
+}
+
+impl FromJson for KernelProfile {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let mut profile = KernelProfile::new();
+        let phases = v.req("phases")?;
+        for (label, counters) in
+            phases.as_obj().ok_or_else(|| JsonError::new("expected phases object"))?
+        {
+            let class = PhaseClass::from_label(label)
+                .ok_or_else(|| JsonError::new(format!("unknown phase {label:?}")))?;
+            *profile.phase_mut(class) = PhaseCounters::from_json(counters)?;
+        }
+        profile.merge_degree_hist = v.field("merge_degree_hist")?;
+        Ok(profile)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -287,5 +380,29 @@ mod tests {
         let p = KernelProfile::new();
         assert_eq!(p.merge_conflicts_per_request(), 0.0);
         assert_eq!(p.total_bank_conflicts(), 0);
+    }
+
+    #[test]
+    fn profile_json_roundtrip() {
+        let mut p = KernelProfile::new();
+        let m = p.phase_mut(PhaseClass::Merge);
+        m.shared_ld_requests = 10;
+        m.shared_ld_transactions = 35;
+        p.phase_mut(PhaseClass::LoadTile).global_ld_sectors = 4;
+        p.merge_degree_hist.record(3);
+        p.merge_degree_hist.record(1);
+        let text = p.to_json().to_string_pretty();
+        let back = KernelProfile::from_json(&cfmerge_json::Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, p);
+        // Zero phases are omitted from the document.
+        assert!(!text.contains("\"regops\""));
+    }
+
+    #[test]
+    fn phase_labels_roundtrip() {
+        for c in PhaseClass::all() {
+            assert_eq!(PhaseClass::from_label(c.label()), Some(c));
+        }
+        assert_eq!(PhaseClass::from_label("bogus"), None);
     }
 }

@@ -1,10 +1,10 @@
 //! Small statistics helpers used by the experiment harness: running
 //! summaries and conflict-degree histograms.
 
-use serde::{Deserialize, Serialize};
+use cfmerge_json::{FromJson, Json, JsonError, ToJson};
 
 /// Incremental min/max/mean/variance (Welford) over `f64` samples.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunningStats {
     n: u64,
     mean: f64,
@@ -69,11 +69,48 @@ impl RunningStats {
     }
 }
 
+impl ToJson for RunningStats {
+    /// `min`/`max` are emitted only when at least one sample was pushed:
+    /// the empty summary's internal `+∞`/`−∞` sentinels have no JSON
+    /// representation.
+    fn to_json(&self) -> Json {
+        let mut pairs = vec![
+            ("n".to_owned(), Json::from(self.n)),
+            ("mean".to_owned(), Json::from(self.mean())),
+            ("stddev".to_owned(), Json::from(self.stddev())),
+            ("m2".to_owned(), Json::from(self.m2)),
+        ];
+        if let (Some(min), Some(max)) = (self.min(), self.max()) {
+            pairs.push(("min".to_owned(), Json::from(min)));
+            pairs.push(("max".to_owned(), Json::from(max)));
+        }
+        Json::Obj(pairs)
+    }
+}
+
+impl FromJson for RunningStats {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let n: u64 = v.field("n")?;
+        let min: Option<f64> = v.field_opt("min")?;
+        let max: Option<f64> = v.field_opt("max")?;
+        if (n == 0) != (min.is_none() && max.is_none()) {
+            return Err(JsonError::new("RunningStats: min/max must be present exactly when n > 0"));
+        }
+        Ok(Self {
+            n,
+            mean: v.field("mean")?,
+            m2: v.field("m2")?,
+            min: min.unwrap_or(f64::INFINITY),
+            max: max.unwrap_or(f64::NEG_INFINITY),
+        })
+    }
+}
+
 /// Histogram of per-round transaction degrees (1 = conflict-free round,
 /// `w` = fully serialized). Used to reproduce Karsin et al.'s "2–3 bank
 /// conflicts per step on random inputs" observation with full
 /// distributional detail.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DegreeHistogram {
     counts: Vec<u64>,
 }
@@ -115,12 +152,7 @@ impl DegreeHistogram {
     /// Total conflicts (Σ (degree − 1) · count for degree ≥ 1).
     #[must_use]
     pub fn total_conflicts(&self) -> u64 {
-        self.counts
-            .iter()
-            .enumerate()
-            .skip(1)
-            .map(|(d, &c)| (d as u64 - 1) * c)
-            .sum()
+        self.counts.iter().enumerate().skip(1).map(|(d, &c)| (d as u64 - 1) * c).sum()
     }
 
     /// Mean conflicts per round — the Karsin et al. statistic.
@@ -141,8 +173,8 @@ impl DegreeHistogram {
         if rounds == 0 {
             return 1.0;
         }
-        let free = self.counts.first().copied().unwrap_or(0)
-            + self.counts.get(1).copied().unwrap_or(0);
+        let free =
+            self.counts.first().copied().unwrap_or(0) + self.counts.get(1).copied().unwrap_or(0);
         free as f64 / rounds as f64
     }
 
@@ -155,10 +187,22 @@ impl DegreeHistogram {
     /// Highest degree observed, if any round was recorded.
     #[must_use]
     pub fn max_degree(&self) -> Option<u32> {
-        self.counts
-            .iter()
-            .rposition(|&c| c > 0)
-            .map(|d| d as u32)
+        self.counts.iter().rposition(|&c| c > 0).map(|d| d as u32)
+    }
+}
+
+impl ToJson for DegreeHistogram {
+    fn to_json(&self) -> Json {
+        // Trailing zero buckets carry no information; trimming them keeps
+        // equal histograms textually equal regardless of capacity.
+        let last = self.counts.iter().rposition(|&c| c > 0).map_or(0, |d| d + 1);
+        Json::obj([("buckets", self.counts[..last].to_json())])
+    }
+}
+
+impl FromJson for DegreeHistogram {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Self { counts: v.field("buckets")? })
     }
 }
 
@@ -222,5 +266,63 @@ mod tests {
         assert_eq!(h.mean_conflicts_per_round(), 0.0);
         assert_eq!(h.conflict_free_fraction(), 1.0);
         assert_eq!(h.max_degree(), None);
+    }
+
+    #[test]
+    fn running_stats_json_roundtrip() {
+        let mut s = RunningStats::new();
+        for x in [3.5, -1.0, 8.25, 0.0] {
+            s.push(x);
+        }
+        let text = s.to_json().to_string_pretty();
+        let back = RunningStats::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.min(), Some(-1.0));
+        assert_eq!(back.max(), Some(8.25));
+    }
+
+    #[test]
+    fn empty_running_stats_json_roundtrip() {
+        // The empty summary's ±∞ sentinels must not leak into JSON (they
+        // have no representation there); min/max are simply omitted.
+        let s = RunningStats::new();
+        let j = s.to_json();
+        assert!(j.get("min").is_none());
+        assert!(j.get("max").is_none());
+        let text = j.to_string_compact();
+        assert!(!text.contains("inf") && !text.contains("null"), "{text}");
+        let back = RunningStats::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.min(), None);
+        assert_eq!(back.max(), None);
+        // Pushing into the deserialized copy behaves like a fresh one.
+        let mut back = back;
+        back.push(2.0);
+        assert_eq!(back.min(), Some(2.0));
+        assert_eq!(back.max(), Some(2.0));
+    }
+
+    #[test]
+    fn inconsistent_running_stats_json_rejected() {
+        let bad = Json::parse(r#"{"n": 0, "mean": 0, "m2": 0, "min": 1, "max": 2}"#).unwrap();
+        assert!(RunningStats::from_json(&bad).is_err());
+        let bad = Json::parse(r#"{"n": 3, "mean": 1, "m2": 0}"#).unwrap();
+        assert!(RunningStats::from_json(&bad).is_err());
+    }
+
+    #[test]
+    fn histogram_json_roundtrip() {
+        let mut h = DegreeHistogram::new(8);
+        h.record(1);
+        h.record(3);
+        h.record(8);
+        let back =
+            DegreeHistogram::from_json(&Json::parse(&h.to_json().to_string_compact()).unwrap())
+                .unwrap();
+        assert_eq!(back, h);
+        // An empty histogram serializes to empty buckets regardless of
+        // capacity (trailing zeros are trimmed).
+        let empty = DegreeHistogram::new(32).to_json();
+        assert_eq!(empty.to_string_compact(), r#"{"buckets":[]}"#);
     }
 }

@@ -32,10 +32,10 @@
 use crate::device::Device;
 use crate::occupancy::{occupancy, BlockResources, Occupancy};
 use crate::profiler::PhaseCounters;
-use serde::{Deserialize, Serialize};
+use cfmerge_json::{FromJson, Json, JsonError, ToJson};
 
 /// A kernel launch shape: grid size plus per-block resource demand.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LaunchConfig {
     /// Number of thread blocks in the grid.
     pub blocks: u64,
@@ -44,7 +44,7 @@ pub struct LaunchConfig {
 }
 
 /// Timing-model constants. See module docs for the formula.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TimingModel {
     /// Fixed host-side launch overhead per kernel, seconds.
     pub launch_overhead_s: f64,
@@ -97,11 +97,8 @@ impl TimingModel {
         let bw_eff = self.bw_efficiency_full * occ.fraction.powf(self.bw_occupancy_exponent);
         // Bandwidth also scales with the fraction of the chip occupied.
         let chip_fraction = sms_busy / f64::from(dev.sm_count);
-        let global_s = if bytes == 0.0 {
-            0.0
-        } else {
-            bytes / (dev.mem_bandwidth * bw_eff * chip_fraction)
-        };
+        let global_s =
+            if bytes == 0.0 { 0.0 } else { bytes / (dev.mem_bandwidth * bw_eff * chip_fraction) };
 
         let shared_s =
             totals.shared_transactions() as f64 * self.shared_tx_cycles / (sms_busy * clock);
@@ -130,7 +127,7 @@ impl TimingModel {
 }
 
 /// Priced kernel launch, with the individual model terms for reporting.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TimeBreakdown {
     /// Total modeled runtime in seconds.
     pub seconds: f64,
@@ -158,12 +155,37 @@ impl TimeBreakdown {
             (self.latency_s, "latency"),
             (self.alu_s, "alu"),
         ];
-        terms
-            .iter()
-            .cloned()
-            .max_by(|a, b| a.0.total_cmp(&b.0))
-            .map(|(_, n)| n)
-            .unwrap_or("none")
+        terms.iter().cloned().max_by(|a, b| a.0.total_cmp(&b.0)).map(|(_, n)| n).unwrap_or("none")
+    }
+}
+
+impl ToJson for TimeBreakdown {
+    /// `dominant` is derived on write for readability and ignored on read.
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("seconds", Json::from(self.seconds)),
+            ("global_s", Json::from(self.global_s)),
+            ("shared_s", Json::from(self.shared_s)),
+            ("latency_s", Json::from(self.latency_s)),
+            ("alu_s", Json::from(self.alu_s)),
+            ("launch_s", Json::from(self.launch_s)),
+            ("dominant", Json::from(self.dominant())),
+            ("occupancy", self.occupancy.to_json()),
+        ])
+    }
+}
+
+impl FromJson for TimeBreakdown {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            seconds: v.field("seconds")?,
+            global_s: v.field("global_s")?,
+            shared_s: v.field("shared_s")?,
+            latency_s: v.field("latency_s")?,
+            alu_s: v.field("alu_s")?,
+            launch_s: v.field("launch_s")?,
+            occupancy: v.field("occupancy")?,
+        })
     }
 }
 

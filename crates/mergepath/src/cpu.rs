@@ -21,8 +21,7 @@ pub fn merge_sort_seq<T: Ord + Copy + Default>(v: &mut [T]) {
     let mut width = 1usize;
     while width < n {
         {
-            let (src, dst): (&[T], &mut [T]) =
-                if src_is_v { (&*v, &mut buf) } else { (&buf, v) };
+            let (src, dst): (&[T], &mut [T]) = if src_is_v { (&*v, &mut buf) } else { (&buf, v) };
             let mut lo = 0;
             while lo < n {
                 let mid = (lo + width).min(n);
@@ -58,8 +57,7 @@ pub fn merge_sort_par<T: Ord + Copy + Default + Send + Sync>(v: &mut [T], chunk:
     let mut width = chunk;
     while width < n {
         {
-            let (src, dst): (&[T], &mut [T]) =
-                if src_is_v { (&*v, &mut buf) } else { (&buf, v) };
+            let (src, dst): (&[T], &mut [T]) = if src_is_v { (&*v, &mut buf) } else { (&buf, v) };
             // Each pair of runs merges independently; within a pair, each
             // `chunk`-output piece merges independently too.
             let pair = 2 * width;
@@ -71,18 +69,16 @@ pub fn merge_sort_par<T: Ord + Copy + Default + Send + Sync>(v: &mut [T], chunk:
             let pieces: Vec<(usize, usize, usize, usize, usize, usize)> = tasks
                 .iter()
                 .flat_map(|&(lo, mid, hi)| {
-                    partition_merge(&src[lo..mid], &src[mid..hi], chunk)
-                        .into_iter()
-                        .map(move |c| {
-                            (
-                                lo + c.a_begin,
-                                lo + c.a_end,
-                                mid + c.b_begin,
-                                mid + c.b_end,
-                                lo + c.out_begin,
-                                c.len(),
-                            )
-                        })
+                    partition_merge(&src[lo..mid], &src[mid..hi], chunk).into_iter().map(move |c| {
+                        (
+                            lo + c.a_begin,
+                            lo + c.a_end,
+                            mid + c.b_begin,
+                            mid + c.b_end,
+                            lo + c.out_begin,
+                            c.len(),
+                        )
+                    })
                 })
                 .collect();
             // Safety-free parallel writes: split dst by disjoint ranges.
@@ -97,12 +93,11 @@ pub fn merge_sort_par<T: Ord + Copy + Default + Send + Sync>(v: &mut [T], chunk:
                 rest = tail;
                 cursor += len;
             }
-            pieces
-                .par_iter()
-                .zip(slots.into_par_iter())
-                .for_each(|(&(a_b, a_e, b_b, b_e, _, _), slot)| {
+            pieces.par_iter().zip(slots.into_par_iter()).for_each(
+                |(&(a_b, a_e, b_b, b_e, _, _), slot)| {
                     serial_merge_into(&src[a_b..a_e], &src[b_b..b_e], slot);
-                });
+                },
+            );
         }
         src_is_v = !src_is_v;
         width = pair_width(width, n);

@@ -143,7 +143,10 @@ mod tests {
         let b = vec![5u32; 24];
         let parts = partition_merge(&a, &b, 8);
         // Stability: all of A must be consumed before any tie from B.
-        assert_eq!(parts[0], MergeChunk { a_begin: 0, a_end: 8, b_begin: 0, b_end: 0, out_begin: 0 });
+        assert_eq!(
+            parts[0],
+            MergeChunk { a_begin: 0, a_end: 8, b_begin: 0, b_end: 0, out_begin: 0 }
+        );
         let x_total: usize = parts.iter().map(MergeChunk::a_len).sum();
         assert_eq!(x_total, 40);
         check_partition(&a, &b, 8);

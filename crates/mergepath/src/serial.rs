@@ -140,9 +140,6 @@ mod tests {
         let a = [0u32, 2, 4];
         let b = [1u32, 3, 5];
         let (_, trace) = serial_merge_traced(&a, &b);
-        assert_eq!(
-            trace,
-            vec![Took::A, Took::B, Took::A, Took::B, Took::A, Took::B]
-        );
+        assert_eq!(trace, vec![Took::A, Took::B, Took::A, Took::B, Took::A, Took::B]);
     }
 }

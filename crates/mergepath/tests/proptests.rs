@@ -8,10 +8,7 @@ use cfmerge_mergepath::serial::{serial_merge, serial_merge_traced, Took};
 use proptest::prelude::*;
 
 fn two_sorted() -> impl Strategy<Value = (Vec<u32>, Vec<u32>)> {
-    (
-        proptest::collection::vec(0u32..100, 0..80),
-        proptest::collection::vec(0u32..100, 0..80),
-    )
+    (proptest::collection::vec(0u32..100, 0..80), proptest::collection::vec(0u32..100, 0..80))
         .prop_map(|(mut a, mut b)| {
             a.sort_unstable();
             b.sort_unstable();

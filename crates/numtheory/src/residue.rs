@@ -66,9 +66,7 @@ pub fn r_j_ell(j: i64, ell: u64, e: u64, w: u64) -> Vec<i64> {
     let d = gcd(w, e);
     assert!(d > 0 && ell < d, "partition index {ell} out of range for d={d}");
     let wd = (w / d) as i64;
-    (0..wd)
-        .map(|k| j + (i64::try_from(ell).unwrap() * wd + k) * e as i64)
-        .collect()
+    (0..wd).map(|k| j + (i64::try_from(ell).unwrap() * wd + k) * e as i64).collect()
 }
 
 /// `D_ℓ = { ℓ + kd : 0 ≤ k < w/d }` — the arithmetic progression of

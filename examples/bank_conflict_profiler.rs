@@ -26,7 +26,8 @@ fn main() {
         let c = block.profile.phase(PhaseClass::Other);
         println!(
             "  stride {stride:>2}: {} transaction(s) per request ({} conflict(s))",
-            c.shared_ld_transactions, c.bank_conflicts()
+            c.shared_ld_transactions,
+            c.bank_conflicts()
         );
     }
 

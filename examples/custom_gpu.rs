@@ -37,12 +37,8 @@ fn main() {
         occ.limiter
     );
 
-    let config = SortConfig {
-        params,
-        device,
-        timing: TimingModel::rtx2080ti_like(),
-        count_accesses: true,
-    };
+    let config =
+        SortConfig { params, device, timing: TimingModel::rtx2080ti_like(), count_accesses: true };
     let n = 32 * params.tile();
     for spec in [
         InputSpec::UniformRandom { seed: 3 },

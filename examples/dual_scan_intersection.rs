@@ -7,8 +7,8 @@
 //!
 //! Run with: `cargo run --release --example dual_scan_intersection`
 
-use cfmerge::core::gather::{dual_scan_block, intersect_counts, CfLayout, ThreadSplit};
 use cfmerge::core::gather::simulate::permuted_tile;
+use cfmerge::core::gather::{dual_scan_block, intersect_counts, CfLayout, ThreadSplit};
 use cfmerge::core::params::SortParams;
 use cfmerge::core::sort::{sort_pairs_stable, SortAlgorithm, SortConfig};
 use cfmerge::gpu_sim::banks::BankModel;

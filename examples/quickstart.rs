@@ -3,9 +3,9 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use cfmerge::prelude::*;
 use cfmerge::core::sort::SortAlgorithm::{CfMerge, ThrustMergesort};
 use cfmerge::gpu_sim::profiler::PhaseClass;
+use cfmerge::prelude::*;
 
 fn main() {
     // 1 M uniform random keys, the paper's preferred software parameters

@@ -1,0 +1,36 @@
+//! Minimal tracing walkthrough: simulate one small sort with tracing on,
+//! print the conflict forensics, and write a Perfetto/chrome://tracing
+//! JSON file to the current directory.
+//!
+//! Run with `cargo run --example trace_perfetto`, then load
+//! `trace_example.perfetto.json` at <https://ui.perfetto.dev>.
+
+use cfmerge::core::params::SortParams;
+use cfmerge::core::sort::simulate_sort_traced;
+use cfmerge::prelude::*;
+
+fn main() {
+    let cfg = SortConfig::with_params(SortParams::new(15, 128));
+    let n = 8 * 15 * 128;
+    let input = InputSpec::WorstCase { w: 32, e: 15, u: 128 }.generate(n);
+
+    // Trace the Thrust-style baseline: its merge phases bank-conflict.
+    let traced = simulate_sort_traced(&input, SortAlgorithm::ThrustMergesort, &cfg);
+    println!("{}", traced.trace.forensics().report(3));
+    println!(
+        "modeled runtime: {:.1} µs over {} kernels, {} conflict rounds",
+        traced.run.simulated_seconds * 1e6,
+        traced.run.kernels.len(),
+        traced.trace.conflict_rounds(),
+    );
+
+    // The CF-Merge pipeline on the same input records zero merge/gather
+    // conflict rounds — the paper's headline, visible in the trace.
+    let cf = simulate_sort_traced(&input, SortAlgorithm::CfMerge, &cfg);
+    assert_eq!(cf.run.profile.merge_bank_conflicts(), 0);
+    assert_eq!(cf.run.output, traced.run.output);
+
+    let path = "trace_example.perfetto.json";
+    std::fs::write(path, traced.trace.to_perfetto_string()).expect("write trace");
+    println!("wrote {path} — open it in https://ui.perfetto.dev or chrome://tracing");
+}

@@ -47,11 +47,12 @@ pub mod prelude {
     pub use cfmerge_core::gather::{dual_scan_block, CfLayout, ThreadSplit};
     pub use cfmerge_core::inputs::InputSpec;
     pub use cfmerge_core::sort::{
-        simulate_sort, simulate_sort_keys, sort_pairs_stable, SortAlgorithm, SortConfig, SortKey,
-        SortRun,
+        simulate_sort, simulate_sort_keys, simulate_sort_traced, sort_pairs_stable, SortAlgorithm,
+        SortConfig, SortKey, SortRun, TracedSortRun,
     };
     pub use cfmerge_core::worst_case::WorstCaseBuilder;
     pub use cfmerge_gpu_sim::device::Device;
     pub use cfmerge_gpu_sim::profiler::KernelProfile;
     pub use cfmerge_gpu_sim::timing::TimingModel;
+    pub use cfmerge_gpu_sim::trace::{ConflictForensics, SortTrace, Tracer};
 }

@@ -68,13 +68,7 @@ fn claim_cf_zero_merge_conflicts() {
             InputSpec::Reversed,
         ] {
             let r = run(params, SortAlgorithm::CfMerge, spec);
-            assert_eq!(
-                r.profile.merge_bank_conflicts(),
-                0,
-                "E={} on {}",
-                params.e,
-                spec.label()
-            );
+            assert_eq!(r.profile.merge_bank_conflicts(), 0, "E={} on {}", params.e, spec.label());
         }
     }
 }

@@ -1,0 +1,139 @@
+//! Offline shim for the subset of the `rayon` API this workspace uses.
+//!
+//! The build environment has no crates.io access, so this crate maps
+//! rayon's data-parallel spelling onto **sequential** std iterators: every
+//! `par_*` entry point returns the corresponding `std` iterator, and the
+//! adaptors the workspace chains on top (`zip`, `enumerate`, `map`,
+//! `collect`, `for_each`) are the ordinary [`Iterator`] methods.
+//!
+//! This preserves rayon's semantics exactly — rayon guarantees the same
+//! observable results as sequential execution for these pipelines — and
+//! the simulator's DESIGN.md already notes the target host is single-core,
+//! so no local parallelism is lost. Swapping the real rayon back in is a
+//! one-line change in the workspace manifest.
+
+#![forbid(unsafe_code)]
+
+/// Drop-in for `rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::iter::{
+        IntoParallelIterator, IntoParallelRefIterator, ParallelSlice, ParallelSliceMut,
+    };
+}
+
+/// Sequential stand-ins for rayon's parallel iterator entry points.
+pub mod iter {
+    /// `par_chunks` on slices.
+    pub trait ParallelSlice<T> {
+        /// Sequential stand-in for rayon's `par_chunks`.
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(chunk_size)
+        }
+    }
+
+    /// `par_chunks_mut` on slices.
+    pub trait ParallelSliceMut<T> {
+        /// Sequential stand-in for rayon's `par_chunks_mut`.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+
+    /// `into_par_iter` on owned collections and ranges.
+    pub trait IntoParallelIterator {
+        /// The sequential iterator standing in for the parallel one.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Iterated item type.
+        type Item;
+        /// Sequential stand-in for rayon's `into_par_iter`.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Iter = I::IntoIter;
+        type Item = I::Item;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// `par_iter` on borrowed collections.
+    pub trait IntoParallelRefIterator<'a> {
+        /// The sequential iterator standing in for the parallel one.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Iterated item type.
+        type Item: 'a;
+        /// Sequential stand-in for rayon's `par_iter`.
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, C: 'a> IntoParallelRefIterator<'a> for C
+    where
+        &'a C: IntoIterator,
+    {
+        type Iter = <&'a C as IntoIterator>::IntoIter;
+        type Item = <&'a C as IntoIterator>::Item;
+        fn par_iter(&'a self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}
+
+/// Sequential stand-in for `rayon::join`: runs both closures in order.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn par_chunks_matches_chunks() {
+        let v: Vec<u32> = (0..10).collect();
+        let sums: Vec<u32> = v.par_chunks(3).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums, vec![3, 12, 21, 9]);
+    }
+
+    #[test]
+    fn par_chunks_mut_mutates() {
+        let mut v = vec![3u32, 1, 2, 7, 5, 6];
+        v.par_chunks_mut(3).for_each(<[u32]>::sort);
+        assert_eq!(v, vec![1, 2, 3, 5, 6, 7]);
+    }
+
+    #[test]
+    fn zip_and_collect_work() {
+        let a = vec![1u32, 2, 3];
+        let mut out = vec![0u32; 3];
+        a.par_iter()
+            .zip(out.par_chunks_mut(1))
+            .enumerate()
+            .for_each(|(i, (x, o))| o[0] = x + i as u32);
+        assert_eq!(out, vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn into_par_iter_on_ranges() {
+        let squares: Vec<usize> = (0..5usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = crate::join(|| 1 + 1, || "x");
+        assert_eq!((a, b), (2, "x"));
+    }
+}
