@@ -105,7 +105,9 @@ pub fn bitonic_sort<K: SortKey>(
         // Global substages (stride ≥ chunk): one kernel each.
         while j >= chunk {
             let profile = global_substage(banks, u, &mut data, j, k, count_accesses);
-            let t = timing.kernel_time(device, &profile.total(), &launch);
+            let t = timing
+                .kernel_time(device, &profile.total(), &launch)
+                .expect("bitonic launch fits the device");
             seconds += t.seconds;
             total_profile.merge(&profile);
             launches += 1;
@@ -114,7 +116,9 @@ pub fn bitonic_sort<K: SortKey>(
         // Remaining substages of this stage run in shared, one kernel.
         if j >= 1 {
             let profile = shared_substages(banks, u, &mut data, j, k, count_accesses);
-            let t = timing.kernel_time(device, &profile.total(), &launch);
+            let t = timing
+                .kernel_time(device, &profile.total(), &launch)
+                .expect("bitonic launch fits the device");
             seconds += t.seconds;
             total_profile.merge(&profile);
             launches += 1;

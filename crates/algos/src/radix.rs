@@ -142,7 +142,9 @@ pub fn radix_sort_with(
             hist_profile.merge(&p);
             block_hists.push(h);
         }
-        let t = timing.kernel_time(device, &hist_profile.total(), &launch);
+        let t = timing
+            .kernel_time(device, &hist_profile.total(), &launch)
+            .expect("radix launch fits the device");
         seconds += t.seconds;
         total.merge(&hist_profile);
         launches += 1;
@@ -163,7 +165,9 @@ pub fn radix_sort_with(
                     acc += block_hists[b][d];
                 }
             }
-            let t = timing.kernel_time(device, &scan_profile.total(), &launch);
+            let t = timing
+                .kernel_time(device, &scan_profile.total(), &launch)
+                .expect("radix launch fits the device");
             seconds += t.seconds;
             total.merge(&scan_profile);
             launches += 1;
@@ -188,7 +192,9 @@ pub fn radix_sort_with(
                 dst[idx] = v;
             }
         }
-        let t = timing.kernel_time(device, &scatter_profile.total(), &launch);
+        let t = timing
+            .kernel_time(device, &scatter_profile.total(), &launch)
+            .expect("radix launch fits the device");
         seconds += t.seconds;
         total.merge(&scatter_profile);
         launches += 1;

@@ -1,0 +1,112 @@
+//! Kernel analysis gate: symbolic conflict-freedom certification plus a
+//! dynamic sanitizer sweep over the shipping pipelines.
+//!
+//! Layer 1 (static): runs the prover over the full phase registry
+//! ([`cfmerge_core::analysis`]) for the paper's parameter sets and an
+//! honest non-coprime case, cross-validating every verdict against the
+//! bank cost model. Layer 2 (dynamic): executes both pipelines under the
+//! [`Sanitizer`](cfmerge_gpu_sim::Sanitizer) on worst-case and random
+//! inputs and requires a clean bill of health.
+//!
+//! Exits nonzero on any finding, so CI can gate on it.
+
+use cfmerge_bench::artifact::{emit, RunArtifact};
+use cfmerge_core::analysis::check_registry;
+use cfmerge_core::inputs::InputSpec;
+use cfmerge_core::params::SortParams;
+use cfmerge_core::sort::{simulate_sort_checked, SortAlgorithm, SortConfig};
+use cfmerge_gpu_sim::device::Device;
+use cfmerge_json::Json;
+
+fn main() {
+    let dev = Device::rtx2080ti();
+    let w = dev.warp_width as usize;
+    let mut art = RunArtifact::new("kernel_check", dev.clone());
+    let mut failures = 0usize;
+
+    // ---- Layer 1: symbolic certification of the kernel registry ----
+    println!("=== kernel_check: symbolic conflict-freedom certification ===");
+    let mut registry_rows = Vec::new();
+    // The paper's two parameter sets, plus E = 16 — the non-coprime
+    // regime where the registry must be *honest* (strided phases and the
+    // reversal-only gather conflict by exactly gcd(E, w)).
+    for (e, u) in [(15usize, 512usize), (17, 256), (16, 256)] {
+        for algo in [SortAlgorithm::ThrustMergesort, SortAlgorithm::CfMerge] {
+            println!("--- {} E={e} u={u} ---", algo.label());
+            for report in check_registry(algo, w, e, u) {
+                println!("  {}", report.summary());
+                if !report.pass() {
+                    failures += 1;
+                }
+                registry_rows.push(Json::obj([
+                    ("algo", Json::from(algo.label())),
+                    ("e", Json::from(e)),
+                    ("u", Json::from(u)),
+                    ("kernel", Json::from(report.spec.kernel)),
+                    ("phase", Json::from(report.spec.phase.as_str())),
+                    ("access", Json::from(report.spec.access)),
+                    ("pattern", Json::from(report.spec.pattern.describe())),
+                    ("verdict", Json::from(report.verdict.summary())),
+                    ("expected", Json::from(report.spec.expected.label())),
+                    ("pass", Json::from(report.pass())),
+                ]));
+            }
+        }
+    }
+    art.add_summary("registry", Json::Arr(registry_rows));
+
+    // ---- Layer 2: dynamic sanitizer sweep over the shipping pipelines ----
+    println!("\n=== kernel_check: sanitizer sweep (races, OOB, uninit, divergence) ===");
+    let mut sweep_rows = Vec::new();
+    for (e, u) in [(15usize, 512usize), (17, 256)] {
+        let config = SortConfig::with_params(SortParams::new(e, u));
+        let n = 4 * e * u; // two merge passes: every kernel exercised
+        for algo in [SortAlgorithm::ThrustMergesort, SortAlgorithm::CfMerge] {
+            for spec in [
+                InputSpec::WorstCase { w, e, u },
+                InputSpec::UniformRandom { seed: 0xC0FFEE },
+                InputSpec::FewDistinct { seed: 7, distinct: 3 },
+            ] {
+                let input = spec.generate(n);
+                let checked = simulate_sort_checked(&input, algo, &config);
+                let mut expect = input.clone();
+                expect.sort_unstable();
+                let sorted_ok = checked.run.output == expect;
+                let clean = checked.is_clean() && sorted_ok;
+                println!(
+                    "  {:<9} E={e:<3} u={u:<4} {:<22} {}",
+                    algo.label(),
+                    spec.label(),
+                    if clean { "clean" } else { "FINDINGS" },
+                );
+                if !clean {
+                    failures += 1;
+                    if !sorted_ok {
+                        println!("    output is not sorted correctly");
+                    }
+                    for f in checked.findings.iter().take(10) {
+                        println!("    {f}");
+                    }
+                }
+                sweep_rows.push(Json::obj([
+                    ("algo", Json::from(algo.label())),
+                    ("e", Json::from(e)),
+                    ("u", Json::from(u)),
+                    ("input", Json::from(spec.label())),
+                    ("n", Json::from(n)),
+                    ("findings", Json::from(checked.findings.len() as u64 + checked.dropped)),
+                    ("sorted", Json::from(sorted_ok)),
+                ]));
+            }
+        }
+    }
+    art.add_summary("sanitizer_sweep", Json::Arr(sweep_rows));
+    art.add_summary("failures", Json::from(failures as u64));
+    emit(&art);
+
+    if failures > 0 {
+        eprintln!("kernel_check: {failures} failure(s)");
+        std::process::exit(1);
+    }
+    println!("\nkernel_check: all phases certified or honestly refused; sanitizer clean.");
+}

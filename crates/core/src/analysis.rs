@@ -1,0 +1,458 @@
+//! Static conflict-freedom analysis of the shipping kernels.
+//!
+//! [`kernel_registry`] writes down, for every shared-memory phase of both
+//! pipelines, the symbolic address [`Pattern`] the phase follows and the
+//! [`Expectation`] we hold the prover to. [`check_registry`] runs the
+//! prover ([`cfmerge_gpu_sim::check::prove`]) over the registry and
+//! cross-validates every certified verdict against the bank cost model on
+//! sampled concretizations. The `kernel_check` bin and the analysis test
+//! suites both consume this, so a kernel edit that silently changes an
+//! address schedule fails the build, not a benchmark run months later.
+//!
+//! The registry is *honest*: phases that are not conflict-free say so.
+//! The Thrust serial merge is [`Expectation::NotCertifiable`] (its
+//! addresses are comparison-driven — this is exactly the phase the
+//! worst-case inputs of Section 4 attack), and the CF blocksort's
+//! inter-round writeback at mid run widths costs exactly 2 transactions
+//! (two coprime-stride pieces meeting in a bank; each piece alone is
+//! free). See `docs/ANALYSIS.md` for the full proof chain.
+
+use crate::sort::SortAlgorithm;
+use cfmerge_gpu_sim::check::{cross_validate, prove, AffineForm, Pattern, Verdict};
+use cfmerge_numtheory::gcd;
+
+/// What the prover must conclude about a phase for the registry to pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Expectation {
+    /// Must be certified conflict-free (for all lanes, rounds, inputs).
+    CertifiedFree,
+    /// Must be certified to conflict with exactly this many transactions
+    /// per round.
+    CertifiedDegree(u32),
+    /// Exact evaluation may land anywhere in `1..=N` transactions (static
+    /// schedules whose cost varies with run width).
+    BoundedDegree(u32),
+    /// The prover must *refuse*: no schedule-level argument exists.
+    NotCertifiable,
+}
+
+impl Expectation {
+    /// Short label for reports.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            Expectation::CertifiedFree => "conflict-free".into(),
+            Expectation::CertifiedDegree(n) => format!("exactly {n} transactions"),
+            Expectation::BoundedDegree(n) => format!("at most {n} transactions"),
+            Expectation::NotCertifiable => "not certifiable".into(),
+        }
+    }
+
+    /// Does `verdict` satisfy this expectation?
+    #[must_use]
+    pub fn satisfied_by(&self, verdict: &Verdict) -> bool {
+        match (self, verdict) {
+            (Expectation::CertifiedFree, Verdict::ConflictFree(_)) => true,
+            (Expectation::CertifiedDegree(n), Verdict::Conflicting { transactions, .. }) => {
+                transactions == n
+            }
+            (Expectation::BoundedDegree(_), Verdict::ConflictFree(_)) => true,
+            (Expectation::BoundedDegree(n), Verdict::Conflicting { transactions, .. }) => {
+                transactions <= n
+            }
+            (Expectation::NotCertifiable, Verdict::NotCertifiable { .. }) => true,
+            _ => false,
+        }
+    }
+}
+
+/// One shared-memory phase of a shipping kernel: its symbolic address
+/// schedule and the verdict we expect.
+#[derive(Debug, Clone)]
+pub struct PhaseSpec {
+    /// Kernel name (`blocksort` or `merge-pass`).
+    pub kernel: &'static str,
+    /// Phase label (includes the run width for per-round writebacks).
+    pub phase: String,
+    /// `"ld"` or `"st"`.
+    pub access: &'static str,
+    /// The address schedule.
+    pub pattern: Pattern,
+    /// The verdict this spec is held to.
+    pub expected: Expectation,
+}
+
+/// The outcome of proving one [`PhaseSpec`].
+#[derive(Debug, Clone)]
+pub struct PhaseReport {
+    /// The spec that was checked.
+    pub spec: PhaseSpec,
+    /// What the prover concluded.
+    pub verdict: Verdict,
+    /// Agreement between the verdict and the bank cost model on sampled
+    /// concretizations (`Ok` when they agree or no samples exist).
+    pub cross_validation: Result<(), String>,
+}
+
+impl PhaseReport {
+    /// `true` when the verdict satisfies the expectation and
+    /// cross-validation found no disagreement.
+    #[must_use]
+    pub fn pass(&self) -> bool {
+        self.spec.expected.satisfied_by(&self.verdict) && self.cross_validation.is_ok()
+    }
+
+    /// One-line summary for reports.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let status = if self.pass() { "ok " } else { "FAIL" };
+        let xv = match &self.cross_validation {
+            Ok(()) => String::new(),
+            Err(e) => format!(" [cross-validation: {e}]"),
+        };
+        format!(
+            "{status} {:>10} {:<28} {} — {} (expected {}){xv}",
+            self.spec.kernel,
+            self.spec.phase,
+            self.spec.access,
+            self.verdict.summary(),
+            self.spec.expected.label(),
+        )
+    }
+}
+
+/// Expectation for a pure strided schedule (`lane coefficient E` on `w`
+/// banks): free iff coprime, else exactly `gcd(E, w)` transactions.
+fn strided(e: usize, w: usize) -> Expectation {
+    let d = gcd(e as u64, w as u64) as u32;
+    if d == 1 {
+        Expectation::CertifiedFree
+    } else {
+        Expectation::CertifiedDegree(d)
+    }
+}
+
+/// Expectation for the CF blocksort writeback through `cf_rank_slot` at
+/// run width `run_w` (established by exhaustive evaluation; see
+/// `docs/ANALYSIS.md`): for coprime `E` the first writeback (`run_w = E`)
+/// and every writeback at `run_w ≥ w·E` are free, while mid widths cost
+/// exactly 2 transactions (an ascending stride-`E` piece and a descending
+/// stride-`−E` piece of the reflection meet in one bank; each piece alone
+/// is free). For `d > 1` the pieces conflict internally too — bounded by
+/// the trivial `w`.
+fn reflected_expectation(e: usize, run_w: usize, w: usize) -> Expectation {
+    if gcd(e as u64, w as u64) != 1 {
+        return Expectation::BoundedDegree(w as u32);
+    }
+    if run_w == e || run_w >= w * e {
+        Expectation::CertifiedFree
+    } else {
+        Expectation::CertifiedDegree(2)
+    }
+}
+
+/// The full phase registry of one pipeline at parameters `(E, u)` on a
+/// `w`-bank device: every shared-memory access schedule of the blocksort
+/// and merge-pass kernels, in execution order.
+///
+/// # Panics
+/// Panics unless `u` is a power-of-two multiple of `w` (the blocksort's
+/// own launch precondition).
+#[must_use]
+pub fn kernel_registry(algo: SortAlgorithm, w: usize, e: usize, u: usize) -> Vec<PhaseSpec> {
+    assert!(
+        u.is_multiple_of(w) && u.is_power_of_two(),
+        "u={u} must be a power-of-two multiple of w={w}"
+    );
+    let warps = u / w;
+    let tile = u * e;
+    let d = gcd(e as u64, w as u64);
+    // The two strided workhorses: coalesced tile traffic (lane stride 1,
+    // round stride u) and rank-order register traffic (lane stride E).
+    let coalesced =
+        Pattern::Affine { form: AffineForm { base: 0, lane: 1, step: u as i64 }, rounds: e };
+    let rank_strided =
+        Pattern::Affine { form: AffineForm { base: 0, lane: e as i64, step: 1 }, rounds: e };
+    let search = Pattern::DataDependent(
+        "merge-path binary search: probe addresses and trip counts depend on key values \
+         (predicated, divergence-exempt)",
+    );
+
+    let mut specs = vec![
+        PhaseSpec {
+            kernel: "blocksort",
+            phase: "load-tile".into(),
+            access: "st",
+            pattern: coalesced.clone(),
+            expected: Expectation::CertifiedFree,
+        },
+        PhaseSpec {
+            kernel: "blocksort",
+            phase: "register-pull".into(),
+            access: "ld",
+            pattern: rank_strided.clone(),
+            expected: strided(e, w),
+        },
+    ];
+
+    match algo {
+        SortAlgorithm::ThrustMergesort => {
+            specs.push(PhaseSpec {
+                kernel: "blocksort",
+                phase: "sort-writeback".into(),
+                access: "st",
+                pattern: rank_strided.clone(),
+                expected: strided(e, w),
+            });
+            specs.push(PhaseSpec {
+                kernel: "blocksort",
+                phase: "merge-path-search".into(),
+                access: "ld",
+                pattern: search.clone(),
+                expected: Expectation::NotCertifiable,
+            });
+            specs.push(PhaseSpec {
+                kernel: "blocksort",
+                phase: "serial-merge".into(),
+                access: "ld",
+                pattern: Pattern::DataDependent(
+                    "serial merge: each load's address depends on every prior comparison — \
+                     the phase the worst-case inputs of Section 4 attack",
+                ),
+                expected: Expectation::NotCertifiable,
+            });
+            specs.push(PhaseSpec {
+                kernel: "blocksort",
+                phase: "merge-writeback".into(),
+                access: "st",
+                pattern: rank_strided.clone(),
+                expected: strided(e, w),
+            });
+        }
+        SortAlgorithm::CfMerge => {
+            specs.push(PhaseSpec {
+                kernel: "blocksort",
+                phase: "sort-writeback(W=E)".into(),
+                access: "st",
+                pattern: Pattern::Reflected { e, run_w: e, warps },
+                expected: reflected_expectation(e, e, w),
+            });
+            specs.push(PhaseSpec {
+                kernel: "blocksort",
+                phase: "merge-path-search".into(),
+                access: "ld",
+                pattern: search.clone(),
+                expected: Expectation::NotCertifiable,
+            });
+            specs.push(PhaseSpec {
+                kernel: "blocksort",
+                phase: "dual-gather".into(),
+                access: "ld",
+                pattern: Pattern::GatherReversal { e },
+                expected: if d == 1 {
+                    Expectation::CertifiedFree
+                } else {
+                    Expectation::CertifiedDegree(d as u32)
+                },
+            });
+            // One writeback per merge round: reflected into the next
+            // round's layout, natural on the last.
+            let mut run_w = e;
+            while run_w < tile {
+                let next_w = 2 * run_w;
+                if next_w >= tile {
+                    specs.push(PhaseSpec {
+                        kernel: "blocksort",
+                        phase: format!("final-writeback(W={run_w})"),
+                        access: "st",
+                        pattern: rank_strided.clone(),
+                        expected: strided(e, w),
+                    });
+                } else {
+                    specs.push(PhaseSpec {
+                        kernel: "blocksort",
+                        phase: format!("merge-writeback(W={run_w})"),
+                        access: "st",
+                        pattern: Pattern::Reflected { e, run_w: next_w, warps },
+                        expected: reflected_expectation(e, next_w, w),
+                    });
+                }
+                run_w = next_w;
+            }
+        }
+    }
+    specs.push(PhaseSpec {
+        kernel: "blocksort",
+        phase: "store-tile".into(),
+        access: "ld",
+        pattern: coalesced.clone(),
+        expected: Expectation::CertifiedFree,
+    });
+
+    // ---- merge pass ----
+    match algo {
+        SortAlgorithm::ThrustMergesort => {
+            specs.push(PhaseSpec {
+                kernel: "merge-pass",
+                phase: "load-tile".into(),
+                access: "st",
+                pattern: coalesced.clone(),
+                expected: Expectation::CertifiedFree,
+            });
+            specs.push(PhaseSpec {
+                kernel: "merge-pass",
+                phase: "merge-path-search".into(),
+                access: "ld",
+                pattern: search.clone(),
+                expected: Expectation::NotCertifiable,
+            });
+            specs.push(PhaseSpec {
+                kernel: "merge-pass",
+                phase: "serial-merge".into(),
+                access: "ld",
+                pattern: Pattern::DataDependent(
+                    "serial merge: comparison-driven loads from shared memory",
+                ),
+                expected: Expectation::NotCertifiable,
+            });
+        }
+        SortAlgorithm::CfMerge => {
+            specs.push(PhaseSpec {
+                kernel: "merge-pass",
+                phase: "permuting-load".into(),
+                access: "st",
+                pattern: Pattern::PermutedLoad { e },
+                expected: if d == 1 {
+                    Expectation::CertifiedFree
+                } else {
+                    Expectation::NotCertifiable
+                },
+            });
+            specs.push(PhaseSpec {
+                kernel: "merge-pass",
+                phase: "merge-path-search".into(),
+                access: "ld",
+                pattern: search,
+                expected: Expectation::NotCertifiable,
+            });
+            specs.push(PhaseSpec {
+                kernel: "merge-pass",
+                phase: "dual-gather".into(),
+                access: "ld",
+                pattern: Pattern::GatherCf { e },
+                expected: Expectation::CertifiedFree,
+            });
+        }
+    }
+    specs.push(PhaseSpec {
+        kernel: "merge-pass",
+        phase: "stage-store".into(),
+        access: "st",
+        pattern: rank_strided,
+        expected: strided(e, w),
+    });
+    specs.push(PhaseSpec {
+        kernel: "merge-pass",
+        phase: "store-tile".into(),
+        access: "ld",
+        pattern: coalesced,
+        expected: Expectation::CertifiedFree,
+    });
+    specs
+}
+
+/// Prove every spec of [`kernel_registry`] and cross-validate the
+/// verdicts against the bank cost model.
+///
+/// # Panics
+/// Same conditions as [`kernel_registry`].
+#[must_use]
+pub fn check_registry(algo: SortAlgorithm, w: usize, e: usize, u: usize) -> Vec<PhaseReport> {
+    let warps = u / w;
+    kernel_registry(algo, w, e, u)
+        .into_iter()
+        .map(|spec| {
+            let verdict = prove(&spec.pattern, w);
+            let cross_validation = cross_validate(&spec.pattern, &verdict, w, warps);
+            PhaseReport { spec, verdict, cross_validation }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shipping_configs_pass_the_registry() {
+        for (e, u) in [(15usize, 512usize), (17, 256)] {
+            for algo in [SortAlgorithm::ThrustMergesort, SortAlgorithm::CfMerge] {
+                for report in check_registry(algo, 32, e, u) {
+                    assert!(report.pass(), "{}", report.summary());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cf_gather_phases_are_certified_free() {
+        let reports = check_registry(SortAlgorithm::CfMerge, 32, 15, 512);
+        let gathers: Vec<_> = reports.iter().filter(|r| r.spec.phase.contains("gather")).collect();
+        assert_eq!(gathers.len(), 2, "blocksort + merge-pass gathers");
+        for g in gathers {
+            assert!(g.verdict.is_conflict_free(), "{}", g.summary());
+        }
+    }
+
+    #[test]
+    fn thrust_serial_merge_is_not_certified() {
+        let reports = check_registry(SortAlgorithm::ThrustMergesort, 32, 15, 512);
+        let serial: Vec<_> = reports.iter().filter(|r| r.spec.phase == "serial-merge").collect();
+        assert_eq!(serial.len(), 2, "blocksort + merge-pass serial merges");
+        for s in serial {
+            assert!(matches!(s.verdict, Verdict::NotCertifiable { .. }), "{}", s.summary());
+        }
+    }
+
+    #[test]
+    fn noncoprime_e_registry_is_honest() {
+        // E = 16, w = 32: the registry expects the strided phases and the
+        // reversal-only gather to conflict (degree 16), the ρ gather to
+        // stay free, and the permuting load to be refused — and passes.
+        let reports = check_registry(SortAlgorithm::CfMerge, 32, 16, 256);
+        for report in &reports {
+            assert!(report.pass(), "{}", report.summary());
+        }
+        let by_phase = |p: &str| {
+            reports
+                .iter()
+                .find(|r| r.spec.phase == p)
+                .unwrap_or_else(|| panic!("missing phase {p}"))
+        };
+        assert!(matches!(
+            by_phase("dual-gather").verdict,
+            Verdict::Conflicting { transactions: 16, .. }
+        ));
+        let mp_gather = reports
+            .iter()
+            .find(|r| r.spec.kernel == "merge-pass" && r.spec.phase == "dual-gather")
+            .expect("merge-pass gather");
+        assert!(mp_gather.verdict.is_conflict_free(), "{}", mp_gather.summary());
+        assert!(matches!(by_phase("permuting-load").verdict, Verdict::NotCertifiable { .. }));
+    }
+
+    #[test]
+    fn expectation_matching_is_strict() {
+        use Expectation::*;
+        let free = prove(&Pattern::GatherCf { e: 15 }, 32);
+        assert!(CertifiedFree.satisfied_by(&free));
+        assert!(BoundedDegree(2).satisfied_by(&free));
+        assert!(!NotCertifiable.satisfied_by(&free));
+        let conf = prove(&Pattern::GatherReversal { e: 16 }, 32);
+        assert!(CertifiedDegree(16).satisfied_by(&conf));
+        assert!(!CertifiedDegree(8).satisfied_by(&conf));
+        assert!(BoundedDegree(16).satisfied_by(&conf));
+        assert!(!BoundedDegree(15).satisfied_by(&conf));
+        assert!(!CertifiedFree.satisfied_by(&conf));
+    }
+}

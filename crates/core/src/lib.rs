@@ -15,6 +15,9 @@
 //! * [`worst_case`] — the generalized worst-case input construction of
 //!   Section 4 (arbitrary `w`, `1 < E ≤ w`, any `d = gcd(w, E)`), with
 //!   Theorem 8's closed-form conflict counts.
+//! * [`analysis`] — the static kernel registry: the symbolic address
+//!   schedule of every shared-memory phase, held to the conflict-freedom
+//!   prover's verdicts (see `docs/ANALYSIS.md`).
 //! * [`inputs`] — workload generators for the evaluation.
 //! * [`params`] — software parameters `(E, u)` incl. the paper's presets.
 //! * [`metrics`] — throughput/speedup reporting helpers.
@@ -22,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod gather;
 pub mod inputs;
 pub mod metrics;

@@ -25,6 +25,7 @@ use crate::gather::schedule::ThreadSplit;
 use crate::sort::key::SortKey;
 use cfmerge_gpu_sim::banks::BankModel;
 use cfmerge_gpu_sim::block::BlockSim;
+use cfmerge_gpu_sim::check::{MemCheck, NoCheck};
 use cfmerge_gpu_sim::profiler::{KernelProfile, PhaseClass};
 use cfmerge_gpu_sim::trace::{NullTracer, Tracer};
 use cfmerge_mergepath::networks::{oets_ops, oets_sort};
@@ -94,7 +95,7 @@ pub fn blocksort_block<K: SortKey>(
 /// # Panics
 /// Same conditions as [`blocksort_block`].
 #[must_use]
-#[allow(clippy::too_many_arguments, clippy::needless_range_loop)] // kernel signature mirrors the CUDA launch; loops index parallel register arrays
+#[allow(clippy::too_many_arguments)]
 pub fn blocksort_block_traced<K: SortKey, Tr: Tracer>(
     banks: BankModel,
     u: usize,
@@ -106,6 +107,42 @@ pub fn blocksort_block_traced<K: SortKey, Tr: Tracer>(
     count_accesses: bool,
     tracer: Tr,
 ) -> (KernelProfile, Tr) {
+    let (profile, tracer, NoCheck) = blocksort_block_checked(
+        banks,
+        u,
+        e,
+        strategy,
+        src_tile,
+        dst_tile,
+        global_base,
+        count_accesses,
+        tracer,
+        NoCheck,
+    );
+    (profile, tracer)
+}
+
+/// [`blocksort_block`] observed by both a [`Tracer`] and a [`MemCheck`]
+/// checker (e.g. the [`Sanitizer`](cfmerge_gpu_sim::Sanitizer)): identical
+/// execution, with every memory access additionally routed through
+/// `checker`, which is returned alongside the profile and tracer.
+///
+/// # Panics
+/// Same conditions as [`blocksort_block`].
+#[must_use]
+#[allow(clippy::too_many_arguments, clippy::needless_range_loop)] // kernel signature mirrors the CUDA launch; loops index parallel register arrays
+pub fn blocksort_block_checked<K: SortKey, Tr: Tracer, Ck: MemCheck>(
+    banks: BankModel,
+    u: usize,
+    e: usize,
+    strategy: MergeStrategy,
+    src_tile: &[K],
+    dst_tile: &mut [K],
+    global_base: usize,
+    count_accesses: bool,
+    tracer: Tr,
+    checker: Ck,
+) -> (KernelProfile, Tr, Ck) {
     let w = banks.num_banks as usize;
     assert!(
         u.is_multiple_of(w) && u.is_power_of_two(),
@@ -115,7 +152,7 @@ pub fn blocksort_block_traced<K: SortKey, Tr: Tracer>(
     assert_eq!(src_tile.len(), tile);
     assert_eq!(dst_tile.len(), tile);
 
-    let mut block = BlockSim::<K, Tr>::with_tracer(banks, u, tile, tracer);
+    let mut block = BlockSim::<K, Tr, Ck>::with_checker(banks, u, tile, tracer, checker);
     block.set_counting(count_accesses);
 
     // 1. Coalesced load.
@@ -233,7 +270,7 @@ pub fn blocksort_block_traced<K: SortKey, Tr: Tracer>(
         }
     });
 
-    block.finish()
+    block.finish_checked()
 }
 
 fn pair_layout(

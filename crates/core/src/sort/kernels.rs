@@ -15,6 +15,7 @@ use crate::gather::layout::CfLayout;
 use crate::gather::schedule::{GatherSchedule, ThreadSplit};
 use crate::sort::key::SortKey;
 use cfmerge_gpu_sim::block::LaneCtx;
+use cfmerge_gpu_sim::check::MemCheck;
 use cfmerge_mergepath::diagonal::merge_path_by;
 use cfmerge_mergepath::networks::{oets_ops, oets_sort};
 
@@ -87,8 +88,8 @@ impl PairLayout {
 /// `diag` outputs of the pair under `layout`. Charges two shared loads
 /// and a few ALU ops per iteration, exactly as the device code would.
 #[must_use]
-pub fn shared_merge_path<K: SortKey>(
-    lane: &mut LaneCtx<'_, K>,
+pub fn shared_merge_path<K: SortKey, Ck: MemCheck>(
+    lane: &mut LaneCtx<'_, K, Ck>,
     layout: &PairLayout,
     diag: usize,
 ) -> usize {
@@ -109,8 +110,8 @@ pub fn shared_merge_path<K: SortKey>(
 /// head preloads), written to the thread's register array `out`.
 ///
 /// This is the phase the worst-case inputs of Section 4 attack.
-pub fn serial_merge_from_shared<K: SortKey>(
-    lane: &mut LaneCtx<'_, K>,
+pub fn serial_merge_from_shared<K: SortKey, Ck: MemCheck>(
+    lane: &mut LaneCtx<'_, K, Ck>,
     layout: &PairLayout,
     split: ThreadSplit,
     b_begin: usize,
@@ -153,8 +154,8 @@ pub fn serial_merge_from_shared<K: SortKey>(
 /// `pair_tid` is the thread's index *within the pair* (equals `tid` for
 /// whole-block pairs). Requires the shared region to hold the permuted
 /// layout. Writes the merged outputs to `out`.
-pub fn gather_merge_from_shared<K: SortKey>(
-    lane: &mut LaneCtx<'_, K>,
+pub fn gather_merge_from_shared<K: SortKey, Ck: MemCheck>(
+    lane: &mut LaneCtx<'_, K, Ck>,
     base: usize,
     layout: &CfLayout,
     pair_tid: usize,

@@ -62,6 +62,11 @@ pub fn simulate_merge<K: SortKey>(
     let w = config.device.warp_width as usize;
     let (e, u) = (config.params.e, config.params.u);
     config.params.validate(w);
+    if let Err(why) =
+        cfmerge_gpu_sim::occupancy::occupancy(&config.device, &config.launch(1).resources)
+    {
+        panic!("configuration cannot launch on {}: {why}", config.device.name);
+    }
     let banks = config.device.bank_model();
     let strategy = match algo {
         SortAlgorithm::ThrustMergesort => MergeStrategy::DirectSerial,
@@ -112,7 +117,10 @@ pub fn simulate_merge<K: SortKey>(
             regs_per_thread: cfmerge_gpu_sim::occupancy::mergesort_regs_estimate(e as u32),
         },
     };
-    let time = config.timing.kernel_time(&config.device, &profile.total(), &launch);
+    let time = config
+        .timing
+        .kernel_time(&config.device, &profile.total(), &launch)
+        .expect("launchability was validated at entry");
     out.truncate(total);
     MergeRun {
         output: out,

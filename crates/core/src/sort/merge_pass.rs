@@ -19,6 +19,7 @@ use crate::gather::schedule::ThreadSplit;
 use crate::sort::key::SortKey;
 use cfmerge_gpu_sim::banks::BankModel;
 use cfmerge_gpu_sim::block::BlockSim;
+use cfmerge_gpu_sim::check::{MemCheck, NoCheck};
 use cfmerge_gpu_sim::profiler::{KernelProfile, PhaseClass};
 use cfmerge_gpu_sim::trace::{NullTracer, Tracer};
 
@@ -80,7 +81,7 @@ pub fn merge_pass_block<K: SortKey>(
 /// # Panics
 /// Same conditions as [`merge_pass_block`].
 #[must_use]
-#[allow(clippy::too_many_arguments, clippy::needless_range_loop)] // kernel signature mirrors the CUDA launch; loops index parallel register arrays
+#[allow(clippy::too_many_arguments)]
 pub fn merge_pass_block_traced<K: SortKey, Tr: Tracer>(
     banks: BankModel,
     u: usize,
@@ -92,6 +93,42 @@ pub fn merge_pass_block_traced<K: SortKey, Tr: Tracer>(
     count_accesses: bool,
     tracer: Tr,
 ) -> (KernelProfile, Tr) {
+    let (profile, tracer, NoCheck) = merge_pass_block_checked(
+        banks,
+        u,
+        e,
+        strategy,
+        src,
+        job,
+        dst_chunk,
+        count_accesses,
+        tracer,
+        NoCheck,
+    );
+    (profile, tracer)
+}
+
+/// [`merge_pass_block`] observed by both a [`Tracer`] and a [`MemCheck`]
+/// checker (e.g. the [`Sanitizer`](cfmerge_gpu_sim::Sanitizer)): identical
+/// execution, with every memory access additionally routed through
+/// `checker`, which is returned alongside the profile and tracer.
+///
+/// # Panics
+/// Same conditions as [`merge_pass_block`].
+#[must_use]
+#[allow(clippy::too_many_arguments, clippy::needless_range_loop)] // kernel signature mirrors the CUDA launch; loops index parallel register arrays
+pub fn merge_pass_block_checked<K: SortKey, Tr: Tracer, Ck: MemCheck>(
+    banks: BankModel,
+    u: usize,
+    e: usize,
+    strategy: MergeStrategy,
+    src: &[K],
+    job: MergeChunkJob,
+    dst_chunk: &mut [K],
+    count_accesses: bool,
+    tracer: Tr,
+    checker: Ck,
+) -> (KernelProfile, Tr, Ck) {
     let w = banks.num_banks as usize;
     assert!(u.is_multiple_of(w), "u={u} must be a multiple of w={w}");
     let tile = u * e;
@@ -99,7 +136,7 @@ pub fn merge_pass_block_traced<K: SortKey, Tr: Tracer>(
     assert_eq!(dst_chunk.len(), tile);
     let a_len = job.a_len();
 
-    let mut block = BlockSim::<K, Tr>::with_tracer(banks, u, tile, tracer);
+    let mut block = BlockSim::<K, Tr, Ck>::with_checker(banks, u, tile, tracer, checker);
     block.set_counting(count_accesses);
 
     let layout = match strategy {
@@ -173,7 +210,7 @@ pub fn merge_pass_block_traced<K: SortKey, Tr: Tracer>(
         }
     });
 
-    block.finish()
+    block.finish_checked()
 }
 
 #[cfg(test)]

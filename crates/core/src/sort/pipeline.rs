@@ -7,10 +7,11 @@
 //! independent, so each pass fans out with rayon and merges the per-block
 //! profiles.
 
-use super::blocksort::{blocksort_block_traced, MergeStrategy};
+use super::blocksort::{blocksort_block_checked, MergeStrategy};
 use super::key::SortKey;
-use super::merge_pass::{merge_pass_block_traced, MergeChunkJob};
+use super::merge_pass::{merge_pass_block_checked, MergeChunkJob};
 use crate::params::SortParams;
+use cfmerge_gpu_sim::check::{Finding, MemCheck, NoCheck, Sanitizer};
 use cfmerge_gpu_sim::device::Device;
 use cfmerge_gpu_sim::occupancy::{mergesort_regs_estimate, BlockResources};
 use cfmerge_gpu_sim::profiler::{KernelProfile, PhaseClass};
@@ -96,7 +97,7 @@ impl SortConfig {
         }
     }
 
-    fn launch(&self, blocks: u64) -> LaunchConfig {
+    pub(crate) fn launch(&self, blocks: u64) -> LaunchConfig {
         LaunchConfig {
             blocks,
             resources: BlockResources {
@@ -182,7 +183,7 @@ pub fn simulate_sort_keys<K: SortKey>(
     algo: SortAlgorithm,
     config: &SortConfig,
 ) -> SortRun<K> {
-    simulate_sort_impl(input, algo, config, &|| NullTracer).0
+    simulate_sort_impl(input, algo, config, &|| NullTracer, &|| NoCheck).0
 }
 
 /// [`simulate_sort`] with full structured tracing: every thread block of
@@ -211,16 +212,17 @@ pub fn simulate_sort_keys_traced<K: SortKey>(
     config: &SortConfig,
 ) -> TracedSortRun<K> {
     let banks = config.device.bank_model();
-    let (run, tracers) = simulate_sort_impl(input, algo, config, &move || BlockTracer::new(banks));
+    let (run, observers) =
+        simulate_sort_impl(input, algo, config, &move || BlockTracer::new(banks), &|| NoCheck);
     let kernels = run
         .kernels
         .iter()
-        .zip(tracers)
+        .zip(observers)
         .map(|(k, blocks)| KernelTrace {
             name: k.name.clone(),
             grid_blocks: k.blocks,
             seconds: k.time.seconds,
-            blocks,
+            blocks: blocks.into_iter().map(|(t, NoCheck)| t).collect(),
         })
         .collect();
     let trace = SortTrace {
@@ -231,24 +233,130 @@ pub fn simulate_sort_keys_traced<K: SortKey>(
     TracedSortRun { run, trace }
 }
 
+/// One sanitizer finding, located to the launch and block that raised it.
+#[derive(Debug, Clone)]
+pub struct KernelFinding {
+    /// Kernel launch name (`blocksort`, `merge-pass-0`, …).
+    pub kernel: String,
+    /// Block index within the launch.
+    pub block: usize,
+    /// The finding itself (hazard kind, phase, lane, address).
+    pub finding: Finding,
+}
+
+impl std::fmt::Display for KernelFinding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} block {}: {}", self.kernel, self.block, self.finding)
+    }
+}
+
+/// A sort run executed under the [`Sanitizer`]: the run itself plus every
+/// hazard finding raised by any block of any launch.
+#[derive(Debug, Clone)]
+pub struct CheckedSortRun<K = u32> {
+    /// The run: output, profile, modeled timing (identical to an
+    /// unchecked run unless a finding suppressed a faulty access).
+    pub run: SortRun<K>,
+    /// All findings, in launch order then block order.
+    pub findings: Vec<KernelFinding>,
+    /// Findings dropped beyond the per-block cap (see
+    /// [`Sanitizer`]); nonzero means `findings` is a truncated view.
+    pub dropped: u64,
+}
+
+impl<K> CheckedSortRun<K> {
+    /// `true` when no block raised any hazard finding.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty() && self.dropped == 0
+    }
+
+    /// Multi-line forensic report of all findings (empty string if clean).
+    #[must_use]
+    pub fn report(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for f in &self.findings {
+            let _ = writeln!(out, "{f}");
+        }
+        if self.dropped > 0 {
+            let _ =
+                writeln!(out, "... and {} further findings dropped (per-block cap)", self.dropped);
+        }
+        out
+    }
+}
+
+/// [`simulate_sort`] executed under the dynamic [`Sanitizer`]: every
+/// shared/global access of every block is checked for data races,
+/// out-of-bounds, uninitialized reads, and lock-step divergence. The
+/// shipping pipelines are expected to come back clean; see
+/// `docs/ANALYSIS.md`.
+///
+/// # Panics
+/// Same conditions as [`simulate_sort`].
+#[must_use]
+pub fn simulate_sort_checked(
+    input: &[u32],
+    algo: SortAlgorithm,
+    config: &SortConfig,
+) -> CheckedSortRun {
+    simulate_sort_keys_checked::<u32>(input, algo, config)
+}
+
+/// Generic-key variant of [`simulate_sort_checked`].
+///
+/// # Panics
+/// Same conditions as [`simulate_sort`].
+#[must_use]
+pub fn simulate_sort_keys_checked<K: SortKey>(
+    input: &[K],
+    algo: SortAlgorithm,
+    config: &SortConfig,
+) -> CheckedSortRun<K> {
+    let (run, observers) = simulate_sort_impl(input, algo, config, &|| NullTracer, &Sanitizer::new);
+    let mut findings = Vec::new();
+    let mut dropped = 0u64;
+    for (kernel, blocks) in run.kernels.iter().zip(observers) {
+        for (block, (NullTracer, ck)) in blocks.into_iter().enumerate() {
+            dropped += ck.dropped;
+            findings.extend(ck.into_findings().into_iter().map(|finding| KernelFinding {
+                kernel: kernel.name.clone(),
+                block,
+                finding,
+            }));
+        }
+    }
+    CheckedSortRun { run, findings, dropped }
+}
+
 /// Shared driver: runs the pipeline, handing each simulated block a fresh
-/// tracer from `make_tracer` and returning the per-kernel tracer sets
-/// aligned with `SortRun::kernels`. Monomorphizes to the untraced engine
-/// when `Tr` is [`NullTracer`].
-fn simulate_sort_impl<K: SortKey, Tr, F>(
+/// tracer from `make_tracer` and a fresh checker from `make_checker`, and
+/// returning the per-kernel `(tracer, checker)` sets aligned with
+/// `SortRun::kernels`. Monomorphizes to the untraced, unchecked engine
+/// when `Tr` is [`NullTracer`] and `Ck` is [`NoCheck`].
+fn simulate_sort_impl<K: SortKey, Tr, Ck, F, G>(
     input: &[K],
     algo: SortAlgorithm,
     config: &SortConfig,
     make_tracer: &F,
-) -> (SortRun<K>, Vec<Vec<Tr>>)
+    make_checker: &G,
+) -> (SortRun<K>, Vec<Vec<(Tr, Ck)>>)
 where
     Tr: Tracer + Send,
+    Ck: MemCheck + Send,
     F: Fn() -> Tr + Sync,
+    G: Fn() -> Ck + Sync,
 {
     let w = config.device.warp_width as usize;
     let (e, u) = (config.params.e, config.params.u);
     config.params.validate(w);
     assert!(u.is_power_of_two(), "blocksort pairing requires a power-of-two u (got {u})");
+    if let Err(why) =
+        cfmerge_gpu_sim::occupancy::occupancy(&config.device, &config.launch(1).resources)
+    {
+        panic!("configuration cannot launch on {}: {why}", config.device.name);
+    }
     let banks = config.device.bank_model();
     let strategy = algo.strategy();
     let tile = u * e;
@@ -274,16 +382,16 @@ where
     let mut dst = vec![K::default(); n_pad];
 
     let mut kernels: Vec<KernelReport> = Vec::new();
-    let mut kernel_tracers: Vec<Vec<Tr>> = Vec::new();
+    let mut kernel_tracers: Vec<Vec<(Tr, Ck)>> = Vec::new();
 
     // ---- Phase 1: block sort ----
     {
-        let results: Vec<(KernelProfile, Tr)> = src
+        let results: Vec<(KernelProfile, Tr, Ck)> = src
             .par_chunks(tile)
             .zip(dst.par_chunks_mut(tile))
             .enumerate()
             .map(|(t, (s, d))| {
-                blocksort_block_traced(
+                blocksort_block_checked(
                     banks,
                     u,
                     e,
@@ -293,17 +401,21 @@ where
                     t * tile,
                     config.count_accesses,
                     make_tracer(),
+                    make_checker(),
                 )
             })
             .collect();
         let mut profile = KernelProfile::new();
         let mut tracers = Vec::with_capacity(results.len());
-        for (p, t) in results {
+        for (p, t, c) in results {
             profile.merge(&p);
-            tracers.push(t);
+            tracers.push((t, c));
         }
         let launch = config.launch(runs as u64);
-        let time = config.timing.kernel_time(&config.device, &profile.total(), &launch);
+        let time = config
+            .timing
+            .kernel_time(&config.device, &profile.total(), &launch)
+            .expect("launchability was validated at pipeline entry");
         kernels.push(KernelReport { name: "blocksort".into(), blocks: runs as u64, profile, time });
         kernel_tracers.push(tracers);
         std::mem::swap(&mut src, &mut dst);
@@ -341,11 +453,11 @@ where
                 s.alu_ops += blocks_in_pair * steps * 6;
             }
         }
-        let results: Vec<(KernelProfile, Tr)> = jobs
+        let results: Vec<(KernelProfile, Tr, Ck)> = jobs
             .par_iter()
             .zip(dst.par_chunks_mut(tile))
             .map(|(job, chunk)| {
-                merge_pass_block_traced(
+                merge_pass_block_checked(
                     banks,
                     u,
                     e,
@@ -355,18 +467,22 @@ where
                     chunk,
                     config.count_accesses,
                     make_tracer(),
+                    make_checker(),
                 )
             })
             .collect();
         let mut profile = search_cost;
         let mut tracers = Vec::with_capacity(results.len());
-        for (p, t) in results {
+        for (p, t, c) in results {
             profile.merge(&p);
-            tracers.push(t);
+            tracers.push((t, c));
         }
         let blocks = jobs.len() as u64;
         let launch = config.launch(blocks);
-        let time = config.timing.kernel_time(&config.device, &profile.total(), &launch);
+        let time = config
+            .timing
+            .kernel_time(&config.device, &profile.total(), &launch)
+            .expect("launchability was validated at pipeline entry");
         kernels.push(KernelReport { name: format!("merge-pass-{pass}"), blocks, profile, time });
         kernel_tracers.push(tracers);
         std::mem::swap(&mut src, &mut dst);

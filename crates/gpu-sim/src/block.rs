@@ -26,6 +26,7 @@
 //!   treated as predicated off for the trailing rounds.
 
 use crate::banks::{BankModel, RoundCost};
+use crate::check::{MemCheck, NoCheck};
 use crate::global::sectors_touched;
 use crate::profiler::{KernelProfile, PhaseClass};
 use crate::trace::{GlobalRoundEvent, NullTracer, SharedRoundEvent, Tracer};
@@ -72,8 +73,11 @@ pub struct WarpPhaseLog {
 ///
 /// The second type parameter is the [`Tracer`] observing execution; the
 /// default [`NullTracer`] compiles its hooks away entirely, so untraced
-/// blocks are identical to the pre-tracing engine.
-pub struct BlockSim<T: Copy, Tr: Tracer = NullTracer> {
+/// blocks are identical to the pre-tracing engine. The third is the
+/// [`MemCheck`] hazard checker (see [`crate::check`]); the default
+/// [`NoCheck`] likewise vanishes at compile time, leaving the built-in
+/// panic-on-race asserts in force.
+pub struct BlockSim<T: Copy, Tr: Tracer = NullTracer, Ck: MemCheck = NoCheck> {
     banks: BankModel,
     /// Threads per block (`u` in the paper; must be a multiple of `w`).
     u: usize,
@@ -89,6 +93,7 @@ pub struct BlockSim<T: Copy, Tr: Tracer = NullTracer> {
     /// populated when round logging is on).
     pub logs: Vec<WarpPhaseLog>,
     tracer: Tr,
+    checker: Ck,
     // Reusable scratch (one slot per lane of a warp).
     shared_traces: Vec<Vec<SharedAcc>>,
     global_traces: Vec<Vec<GlobalAcc>>,
@@ -113,8 +118,29 @@ impl<T: Copy + Default, Tr: Tracer> BlockSim<T, Tr> {
     /// Panics if `u` is zero or not a multiple of the warp width.
     #[must_use]
     pub fn with_tracer(banks: BankModel, u: usize, shared_len: usize, tracer: Tr) -> Self {
+        Self::with_checker(banks, u, shared_len, tracer, NoCheck)
+    }
+}
+
+impl<T: Copy + Default, Tr: Tracer, Ck: MemCheck> BlockSim<T, Tr, Ck> {
+    /// New block observed by `tracer` and audited by `checker` (see
+    /// [`crate::check`]). An *active* checker replaces the engine's
+    /// panicking race asserts: hazards become recorded findings and the
+    /// kernel runs to completion.
+    ///
+    /// # Panics
+    /// Panics if `u` is zero or not a multiple of the warp width.
+    #[must_use]
+    pub fn with_checker(
+        banks: BankModel,
+        u: usize,
+        shared_len: usize,
+        tracer: Tr,
+        mut checker: Ck,
+    ) -> Self {
         let w = banks.num_banks as usize;
         assert!(u > 0 && u.is_multiple_of(w), "u={u} must be a positive multiple of w={w}");
+        checker.begin_block(w, u, shared_len);
         Self {
             banks,
             u,
@@ -127,13 +153,14 @@ impl<T: Copy + Default, Tr: Tracer> BlockSim<T, Tr> {
             log_rounds: false,
             logs: Vec::new(),
             tracer,
+            checker,
             shared_traces: vec![Vec::new(); w],
             global_traces: vec![Vec::new(); w],
         }
     }
 }
 
-impl<T: Copy, Tr: Tracer> BlockSim<T, Tr> {
+impl<T: Copy, Tr: Tracer, Ck: MemCheck> BlockSim<T, Tr, Ck> {
     /// The tracer observing this block.
     #[must_use]
     pub fn tracer(&self) -> &Tr {
@@ -146,11 +173,29 @@ impl<T: Copy, Tr: Tracer> BlockSim<T, Tr> {
         self.tracer
     }
 
+    /// The checker auditing this block.
+    #[must_use]
+    pub fn checker(&self) -> &Ck {
+        &self.checker
+    }
+
+    /// Consume the block and return its checker (for its findings).
+    #[must_use]
+    pub fn into_checker(self) -> Ck {
+        self.checker
+    }
+
     /// Consume the block, returning its accumulated profile and tracer —
     /// the pair a traced kernel hands back to its launcher.
     #[must_use]
     pub fn finish(self) -> (KernelProfile, Tr) {
         (self.profile, self.tracer)
+    }
+
+    /// Consume the block, returning profile, tracer, and checker.
+    #[must_use]
+    pub fn finish_checked(self) -> (KernelProfile, Tr, Ck) {
+        (self.profile, self.tracer, self.checker)
     }
 
     /// Warp width `w`.
@@ -199,15 +244,17 @@ impl<T: Copy, Tr: Tracer> BlockSim<T, Tr> {
     /// under `class`.
     pub fn phase<F>(&mut self, class: PhaseClass, mut body: F)
     where
-        F: FnMut(usize, &mut LaneCtx<'_, T>),
+        F: FnMut(usize, &mut LaneCtx<'_, T, Ck>),
     {
         self.epoch = self.epoch.wrapping_add(1);
         self.tracer.phase_begin(class);
+        self.checker.phase_begin(class);
         let w = self.warp_width();
         let warps = self.warps();
         let mut alu_total = 0u64;
 
         for warp in 0..warps {
+            self.checker.warp_begin(warp);
             for t in &mut self.shared_traces {
                 t.clear();
             }
@@ -228,11 +275,13 @@ impl<T: Copy, Tr: Tracer> BlockSim<T, Tr> {
                         shared_trace: &mut self.shared_traces[lane],
                         global_trace: &mut self.global_traces[lane],
                         alu: &mut alu,
+                        checker: &mut self.checker,
                     };
                     body(tid, &mut ctx);
                 }
                 alu_total += alu;
             }
+            self.checker.warp_end(warp, class);
             if self.counting {
                 self.account_warp(class, warp);
             }
@@ -242,6 +291,7 @@ impl<T: Copy, Tr: Tracer> BlockSim<T, Tr> {
             self.tracer.alu(class, alu_total);
         }
         self.tracer.phase_end(class);
+        self.checker.phase_end(class);
     }
 
     /// Convenience: run a phase with no memory side effects, charging only
@@ -250,8 +300,10 @@ impl<T: Copy, Tr: Tracer> BlockSim<T, Tr> {
         let ops = ops_per_thread * self.u as u64;
         self.profile.phase_mut(class).alu_ops += ops;
         self.tracer.phase_begin(class);
+        self.checker.phase_begin(class);
         self.tracer.alu(class, ops);
         self.tracer.phase_end(class);
+        self.checker.phase_end(class);
     }
 
     fn account_warp(&mut self, class: PhaseClass, warp: usize) {
@@ -363,7 +415,13 @@ impl<T: Copy, Tr: Tracer> BlockSim<T, Tr> {
 
 /// Per-lane handle passed to phase bodies: the only way kernel code can
 /// touch memory, so every access is recorded.
-pub struct LaneCtx<'a, T: Copy> {
+///
+/// With an *active* [`MemCheck`] attached, every access is routed through
+/// the checker, which may suppress it (out-of-bounds accesses become
+/// findings instead of panics; suppressed loads yield `T::default()`),
+/// and the built-in panicking race asserts stand down in favor of the
+/// checker's shadow-memory race detection.
+pub struct LaneCtx<'a, T: Copy, Ck: MemCheck = NoCheck> {
     shared: &'a mut [T],
     write_epoch: &'a mut [u32],
     write_lane: &'a mut [u32],
@@ -373,9 +431,10 @@ pub struct LaneCtx<'a, T: Copy> {
     shared_trace: &'a mut Vec<SharedAcc>,
     global_trace: &'a mut Vec<GlobalAcc>,
     alu: &'a mut u64,
+    checker: &'a mut Ck,
 }
 
-impl<T: Copy> LaneCtx<'_, T> {
+impl<T: Copy + Default, Ck: MemCheck> LaneCtx<'_, T, Ck> {
     /// This thread's id within the block.
     #[must_use]
     pub fn tid(&self) -> usize {
@@ -385,18 +444,25 @@ impl<T: Copy> LaneCtx<'_, T> {
     /// Shared-memory load.
     ///
     /// # Panics
-    /// Panics if the word was written by a *different* lane in the same
-    /// phase (a missing-barrier race the hardware would not tolerate
-    /// either), or on out-of-bounds access.
+    /// Without an active checker, panics if the word was written by a
+    /// *different* lane in the same phase (a missing-barrier race the
+    /// hardware would not tolerate either), or on out-of-bounds access.
+    /// With one, hazards are recorded as findings instead.
     #[must_use]
     pub fn ld(&mut self, idx: usize) -> T {
-        assert!(
-            self.write_epoch[idx] != self.epoch || self.write_lane[idx] == self.tid,
-            "race: lane {} loads shared[{idx}] written by lane {} in the same phase \
-             (missing barrier)",
-            self.tid,
-            self.write_lane[idx],
-        );
+        if Ck::ACTIVE {
+            if !self.checker.shared_access(self.tid, idx, false) {
+                return T::default();
+            }
+        } else {
+            assert!(
+                self.write_epoch[idx] != self.epoch || self.write_lane[idx] == self.tid,
+                "race: lane {} loads shared[{idx}] written by lane {} in the same phase \
+                 (missing barrier)",
+                self.tid,
+                self.write_lane[idx],
+            );
+        }
         if self.counting {
             self.shared_trace.push(SharedAcc { addr: idx as u32, store: false });
         }
@@ -406,17 +472,24 @@ impl<T: Copy> LaneCtx<'_, T> {
     /// Shared-memory store.
     ///
     /// # Panics
-    /// Panics if another lane already wrote this word in the same phase.
+    /// Without an active checker, panics if another lane already wrote
+    /// this word in the same phase.
     pub fn st(&mut self, idx: usize, v: T) {
-        assert!(
-            self.write_epoch[idx] != self.epoch || self.write_lane[idx] == self.tid,
-            "race: lanes {} and {} both store shared[{idx}] in the same phase \
-             (missing barrier)",
-            self.write_lane[idx],
-            self.tid,
-        );
-        self.write_epoch[idx] = self.epoch;
-        self.write_lane[idx] = self.tid;
+        if Ck::ACTIVE {
+            if !self.checker.shared_access(self.tid, idx, true) {
+                return;
+            }
+        } else {
+            assert!(
+                self.write_epoch[idx] != self.epoch || self.write_lane[idx] == self.tid,
+                "race: lanes {} and {} both store shared[{idx}] in the same phase \
+                 (missing barrier)",
+                self.write_lane[idx],
+                self.tid,
+            );
+            self.write_epoch[idx] = self.epoch;
+            self.write_lane[idx] = self.tid;
+        }
         if self.counting {
             self.shared_trace.push(SharedAcc { addr: idx as u32, store: true });
         }
@@ -427,6 +500,9 @@ impl<T: Copy> LaneCtx<'_, T> {
     /// `idx` is recorded for coalescing accounting.
     #[must_use]
     pub fn ld_global(&mut self, data: &[T], idx: usize) -> T {
+        if Ck::ACTIVE && !self.checker.global_access(self.tid, idx, data.len(), false) {
+            return T::default();
+        }
         if self.counting {
             self.global_trace.push(GlobalAcc { idx: idx as u64, store: false });
         }
@@ -435,6 +511,9 @@ impl<T: Copy> LaneCtx<'_, T> {
 
     /// Global-memory store into a caller-provided array.
     pub fn st_global(&mut self, data: &mut [T], idx: usize, v: T) {
+        if Ck::ACTIVE && !self.checker.global_access(self.tid, idx, data.len(), true) {
+            return;
+        }
         if self.counting {
             self.global_trace.push(GlobalAcc { idx: idx as u64, store: true });
         }
@@ -444,8 +523,12 @@ impl<T: Copy> LaneCtx<'_, T> {
     /// Record the *traffic* of a global load at `idx` without moving
     /// data — for kernels that stage their reads/writes outside the
     /// engine (e.g. scatter kernels whose output buffer cannot be
-    /// mutably shared across concurrently simulated blocks).
+    /// mutably shared across concurrently simulated blocks). No bounds
+    /// are known here, so a checker only counts the access.
     pub fn mark_global_ld(&mut self, idx: usize) {
+        if Ck::ACTIVE {
+            let _ = self.checker.global_access(self.tid, idx, usize::MAX, false);
+        }
         if self.counting {
             self.global_trace.push(GlobalAcc { idx: idx as u64, store: false });
         }
@@ -453,6 +536,9 @@ impl<T: Copy> LaneCtx<'_, T> {
 
     /// Record the traffic of a global store at `idx` without writing.
     pub fn mark_global_st(&mut self, idx: usize) {
+        if Ck::ACTIVE {
+            let _ = self.checker.global_access(self.tid, idx, usize::MAX, true);
+        }
         if self.counting {
             self.global_trace.push(GlobalAcc { idx: idx as u64, store: true });
         }
@@ -648,5 +734,62 @@ mod tests {
     #[should_panic(expected = "multiple of w")]
     fn non_multiple_block_rejected() {
         let _ = block(10, 8, 16);
+    }
+
+    fn checked_block(u: usize, w: u32, len: usize) -> BlockSim<u32, NullTracer, Sanitizer> {
+        BlockSim::with_checker(BankModel::new(w), u, len, NullTracer, Sanitizer::new())
+    }
+
+    use crate::check::{Hazard, Sanitizer};
+
+    #[test]
+    fn sanitizer_records_race_instead_of_panicking() {
+        let mut b = checked_block(8, 8, 32);
+        b.phase(PhaseClass::Other, |tid, lane| {
+            lane.st(5, tid as u32); // all lanes store word 5
+        });
+        let ck = b.into_checker();
+        assert!(!ck.is_clean());
+        assert!(
+            ck.findings().iter().any(|f| matches!(f.hazard, Hazard::WriteWriteRace { .. })),
+            "{}",
+            ck.report()
+        );
+    }
+
+    #[test]
+    fn sanitizer_suppresses_oob_and_keeps_running() {
+        let mut b = checked_block(8, 8, 16);
+        b.phase(PhaseClass::LoadTile, |tid, lane| lane.st(tid, 7));
+        b.phase(PhaseClass::Merge, |tid, lane| {
+            let v = lane.ld(if tid == 3 { 999 } else { tid });
+            if tid == 3 {
+                assert_eq!(v, 0, "suppressed OOB load yields the default value");
+            }
+        });
+        let ck = b.into_checker();
+        let oob: Vec<_> = ck
+            .findings()
+            .iter()
+            .filter(|f| matches!(f.hazard, Hazard::SharedOutOfBounds { .. }))
+            .collect();
+        assert_eq!(oob.len(), 1);
+        assert_eq!(oob[0].addr, Some(999));
+    }
+
+    #[test]
+    fn sanitizer_clean_on_well_formed_kernel() {
+        let mut b = checked_block(8, 8, 32);
+        b.phase(PhaseClass::LoadTile, |tid, lane| {
+            for r in 0..4 {
+                lane.st(r * 8 + tid, tid as u32);
+            }
+        });
+        b.phase(PhaseClass::Merge, |tid, lane| {
+            for r in 0..4 {
+                let _ = lane.ld(r * 8 + (tid + 1) % 8);
+            }
+        });
+        assert!(b.checker().is_clean(), "{}", b.checker().report());
     }
 }

@@ -24,6 +24,11 @@
 //! * [`trace`] — structured tracing: a zero-cost [`trace::Tracer`] hook in
 //!   the block engine, a Chrome-trace-event/Perfetto exporter, and
 //!   conflict forensics (see docs/OBSERVABILITY.md).
+//! * [`check`] — kernel analysis: a dynamic hazard sanitizer (races, OOB,
+//!   uninitialized reads, lock-step divergence) behind a zero-cost
+//!   [`check::MemCheck`] hook, plus a symbolic affine-address prover that
+//!   certifies schedules conflict-free for *all* inputs via the paper's
+//!   Corollaries 17/18 (see docs/ANALYSIS.md).
 //!
 //! The simulator is *exact* for conflict counts (they are a deterministic
 //! function of the addresses issued per lock-step round) and *modeled* for
@@ -45,6 +50,7 @@
 
 pub mod banks;
 pub mod block;
+pub mod check;
 pub mod device;
 pub mod global;
 pub mod occupancy;
@@ -55,6 +61,7 @@ pub mod trace;
 
 pub use banks::{BankModel, RoundCost};
 pub use block::{BlockSim, LaneCtx};
+pub use check::{MemCheck, NoCheck, Sanitizer};
 pub use device::Device;
 pub use occupancy::{occupancy, BlockResources, Occupancy};
 pub use profiler::{KernelProfile, PhaseClass, PhaseCounters};

@@ -137,21 +137,21 @@ impl FromJson for BlockResources {
 
 /// Compute theoretical occupancy of `res` on `dev`.
 ///
-/// # Panics
-/// Panics if `res.threads` is zero, not a multiple of the warp width, or
-/// singly exceeds a device limit (such a kernel cannot launch at all).
-/// Use [`try_occupancy`] to handle non-launchable configurations.
-#[must_use]
-pub fn occupancy(dev: &Device, res: &BlockResources) -> Occupancy {
-    match try_occupancy(dev, res) {
-        Ok(occ) => occ,
-        Err(why) => panic!("{why}"),
-    }
+/// # Errors
+/// Returns the reason a single block of `res` cannot launch on `dev` at
+/// all — `res.threads` zero or not a multiple of the warp width, or a
+/// single device limit exceeded. Parameter sweeps legitimately include
+/// such configurations and should report, not crash, so library code
+/// never aborts here.
+pub fn occupancy(dev: &Device, res: &BlockResources) -> Result<Occupancy, &'static str> {
+    try_occupancy(dev, res)
 }
 
-/// Non-panicking variant of [`occupancy`]: returns `Err` with the reason a
-/// single block of `res` cannot launch on `dev` at all (parameter sweeps
-/// legitimately include such configurations and should report, not crash).
+/// Historical name for [`occupancy`] (from when the latter panicked on
+/// non-launchable configurations; both now return `Result`).
+///
+/// # Errors
+/// Same conditions as [`occupancy`].
 pub fn try_occupancy(dev: &Device, res: &BlockResources) -> Result<Occupancy, &'static str> {
     let w = dev.warp_width;
     if res.threads == 0 || !res.threads.is_multiple_of(w) {
@@ -220,7 +220,8 @@ mod tests {
                 shared_bytes: tile_bytes(512, 15),
                 regs_per_thread: mergesort_regs_estimate(15),
             },
-        );
+        )
+        .expect("paper config launches");
         assert_eq!(occ.blocks_per_sm, 2);
         assert_eq!(occ.warps_per_sm, 32);
         assert!((occ.fraction - 1.0).abs() < 1e-12, "paper: E=15,u=512 is 100%");
@@ -236,7 +237,8 @@ mod tests {
                 shared_bytes: tile_bytes(256, 17),
                 regs_per_thread: mergesort_regs_estimate(17),
             },
-        );
+        )
+        .expect("paper config launches");
         // 17 KiB tiles: only 3 blocks fit in 64 KiB → 24/32 warps.
         assert_eq!(occ.blocks_per_sm, 3);
         assert_eq!(occ.limiter, Limiter::SharedMemory);
@@ -247,7 +249,8 @@ mod tests {
     fn block_slots_limit_small_blocks() {
         let dev = Device::rtx2080ti();
         let occ =
-            occupancy(&dev, &BlockResources { threads: 32, shared_bytes: 0, regs_per_thread: 16 });
+            occupancy(&dev, &BlockResources { threads: 32, shared_bytes: 0, regs_per_thread: 16 })
+                .expect("launchable");
         assert_eq!(occ.blocks_per_sm, 16);
         assert_eq!(occ.limiter, Limiter::Blocks);
         assert!((occ.fraction - 0.5).abs() < 1e-12);
@@ -259,18 +262,19 @@ mod tests {
         let occ = occupancy(
             &dev,
             &BlockResources { threads: 256, shared_bytes: 1024, regs_per_thread: 128 },
-        );
+        )
+        .expect("launchable");
         // 128 regs × 256 threads = 32768 per block → 2 blocks.
         assert_eq!(occ.blocks_per_sm, 2);
         assert_eq!(occ.limiter, Limiter::Registers);
     }
 
     #[test]
-    #[should_panic(expected = "multiple of w")]
     fn odd_block_size_rejected() {
         let dev = Device::rtx2080ti();
-        let _ =
+        let got =
             occupancy(&dev, &BlockResources { threads: 48, shared_bytes: 0, regs_per_thread: 32 });
+        assert_eq!(got, Err("u must be a multiple of w"));
     }
 
     #[test]
@@ -285,16 +289,17 @@ mod tests {
         assert_eq!(try_occupancy(&dev, &res), Err("tile exceeds shared memory"));
         // And a launchable one matches the panicking entry point.
         let res = BlockResources { threads: 512, shared_bytes: 1024, regs_per_thread: 32 };
-        assert_eq!(try_occupancy(&dev, &res), Ok(occupancy(&dev, &res)));
+        assert_eq!(try_occupancy(&dev, &res), occupancy(&dev, &res));
+        assert!(occupancy(&dev, &res).is_ok());
     }
 
     #[test]
-    #[should_panic(expected = "exceeds shared memory")]
     fn oversized_tile_rejected() {
         let dev = Device::rtx2080ti();
-        let _ = occupancy(
+        let got = occupancy(
             &dev,
             &BlockResources { threads: 512, shared_bytes: 128 * 1024, regs_per_thread: 32 },
         );
+        assert_eq!(got, Err("tile exceeds shared memory"));
     }
 }

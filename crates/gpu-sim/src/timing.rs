@@ -80,14 +80,17 @@ impl TimingModel {
     }
 
     /// Price one kernel launch from its aggregated counters.
-    #[must_use]
+    ///
+    /// # Errors
+    /// Returns the [`occupancy`] error if `launch.resources` cannot launch
+    /// on `dev` at all — a non-launchable configuration has no runtime.
     pub fn kernel_time(
         &self,
         dev: &Device,
         totals: &PhaseCounters,
         launch: &LaunchConfig,
-    ) -> TimeBreakdown {
-        let occ = occupancy(dev, &launch.resources);
+    ) -> Result<TimeBreakdown, &'static str> {
+        let occ = occupancy(dev, &launch.resources)?;
         let sms_busy = f64::from(dev.sm_count)
             .min(launch.blocks as f64 / f64::from(occ.blocks_per_sm.max(1)))
             .max(1.0);
@@ -114,7 +117,7 @@ impl TimingModel {
         let rest: f64 = terms.iter().sum::<f64>() - dominant;
         let seconds = self.launch_overhead_s + dominant + self.overlap_exposure * rest;
 
-        TimeBreakdown {
+        Ok(TimeBreakdown {
             seconds,
             global_s,
             shared_s,
@@ -122,7 +125,7 @@ impl TimingModel {
             alu_s,
             launch_s: self.launch_overhead_s,
             occupancy: occ,
-        }
+        })
     }
 }
 
@@ -218,7 +221,7 @@ mod tests {
     fn empty_kernel_costs_launch_overhead() {
         let tm = TimingModel::rtx2080ti_like();
         let dev = Device::rtx2080ti();
-        let t = tm.kernel_time(&dev, &PhaseCounters::default(), &launch(100, 512, 15));
+        let t = tm.kernel_time(&dev, &PhaseCounters::default(), &launch(100, 512, 15)).unwrap();
         assert!((t.seconds - tm.launch_overhead_s).abs() < 1e-12);
     }
 
@@ -227,8 +230,9 @@ mod tests {
         let tm = TimingModel::rtx2080ti_like();
         let dev = Device::rtx2080ti();
         let l = launch(10_000, 512, 15);
-        let base = tm.kernel_time(&dev, &counters(1_000_000, 1_000_000, 500_000, 0), &l);
-        let conflicted = tm.kernel_time(&dev, &counters(5_000_000, 1_000_000, 500_000, 0), &l);
+        let base = tm.kernel_time(&dev, &counters(1_000_000, 1_000_000, 500_000, 0), &l).unwrap();
+        let conflicted =
+            tm.kernel_time(&dev, &counters(5_000_000, 1_000_000, 500_000, 0), &l).unwrap();
         assert!(conflicted.seconds > base.seconds);
     }
 
@@ -237,8 +241,8 @@ mod tests {
         let tm = TimingModel::rtx2080ti_like();
         let dev = Device::rtx2080ti();
         let c = counters(1_000_000, 1_000_000, 50_000_000, 0);
-        let full = tm.kernel_time(&dev, &c, &launch(10_000, 512, 15)); // 100% occ
-        let partial = tm.kernel_time(&dev, &c, &launch(10_000, 256, 17)); // 75% occ
+        let full = tm.kernel_time(&dev, &c, &launch(10_000, 512, 15)).unwrap(); // 100% occ
+        let partial = tm.kernel_time(&dev, &c, &launch(10_000, 256, 17)).unwrap(); // 75% occ
         assert!(partial.seconds > full.seconds);
         assert_eq!(full.dominant(), "global");
     }
@@ -248,8 +252,8 @@ mod tests {
         let tm = TimingModel::rtx2080ti_like();
         let dev = Device::rtx2080ti();
         let c = counters(1_000_000, 1_000_000, 1_000_000, 0);
-        let small = tm.kernel_time(&dev, &c, &launch(2, 512, 15));
-        let big = tm.kernel_time(&dev, &c, &launch(1000, 512, 15));
+        let small = tm.kernel_time(&dev, &c, &launch(2, 512, 15)).unwrap();
+        let big = tm.kernel_time(&dev, &c, &launch(1000, 512, 15)).unwrap();
         assert!(small.seconds > big.seconds);
     }
 
@@ -257,7 +261,7 @@ mod tests {
     fn breakdown_terms_are_finite_and_nonnegative() {
         let tm = TimingModel::rtx2080ti_like();
         let dev = Device::rtx2080ti();
-        let t = tm.kernel_time(&dev, &counters(10, 10, 10, 10), &launch(1, 32, 15));
+        let t = tm.kernel_time(&dev, &counters(10, 10, 10, 10), &launch(1, 32, 15)).unwrap();
         for v in [t.global_s, t.shared_s, t.latency_s, t.alu_s, t.seconds] {
             assert!(v.is_finite() && v >= 0.0);
         }

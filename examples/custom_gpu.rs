@@ -26,7 +26,7 @@ fn main() {
         shared_bytes: params.shared_bytes(),
         regs_per_thread: mergesort_regs_estimate(params.e as u32),
     };
-    let occ = occupancy(&device, &res);
+    let occ = occupancy(&device, &res).expect("custom device launches this config");
     println!(
         "{}: E={}, u={} → {} blocks/SM, {:.0}% occupancy (limited by {:?})",
         device.name,

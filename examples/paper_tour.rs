@@ -73,7 +73,7 @@ fn main() {
         shared_bytes: params.shared_bytes(),
         regs_per_thread: mergesort_regs_estimate(15),
     };
-    let occ = occupancy(&cfg.device, &res);
+    let occ = occupancy(&cfg.device, &res).expect("paper config launches");
     println!(
         "  §5 occupancy: E=15,u=512 → {:.0}% ({} blocks/SM)",
         occ.fraction * 100.0,

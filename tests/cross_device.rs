@@ -58,8 +58,8 @@ fn occupancy_landscape_shifts_across_devices() {
         regs_per_thread: mergesort_regs_estimate(params.e as u32),
     };
     let p = SortParams::e17_u256();
-    let turing = occupancy(&Device::rtx2080ti(), &res(p));
-    let ampere = occupancy(&Device::a100_like(), &res(p));
+    let turing = occupancy(&Device::rtx2080ti(), &res(p)).expect("launchable");
+    let ampere = occupancy(&Device::a100_like(), &res(p)).expect("launchable");
     assert!(turing.fraction < 0.8);
     assert_eq!(
         turing.limiter,

@@ -107,6 +107,7 @@ fn claim_occupancy_of_parameter_sets() {
                 regs_per_thread: mergesort_regs_estimate(params.e as u32),
             },
         )
+        .expect("paper configs launch")
         .fraction
     };
     assert_eq!(occ(SortParams::e15_u512()), 1.0);

@@ -136,3 +136,45 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `BankModel::strided_cost(base, stride)` is definitionally the cost
+    /// of the expanded address vector `base + k·stride` for `k ∈ [0, w)`
+    /// — over random bank counts (including non-powers-of-two and wider
+    /// than 32), bases, and strides, including the broadcast stride 0.
+    #[test]
+    fn prop_strided_cost_matches_round_cost(
+        w in 1u32..=64,
+        base in 0u32..1_000_000,
+        stride in 0u32..4096,
+    ) {
+        let model = cfmerge::gpu_sim::BankModel::new(w);
+        let addrs: Vec<u32> = (0..w).map(|k| base + k * stride).collect();
+        let expanded = model.round_cost(&addrs);
+        let strided = model.strided_cost(base, stride);
+        prop_assert_eq!(strided.transactions, expanded.transactions);
+        prop_assert_eq!(strided.conflicts, expanded.conflicts);
+        prop_assert_eq!(strided.active_lanes, expanded.active_lanes);
+    }
+
+    /// The gcd law behind the prover's `affine-gcd` rule, as a property of
+    /// the cost model itself: a full-warp strided access costs exactly
+    /// `gcd(stride, w)` transactions (1 for the broadcast stride 0),
+    /// independent of the base.
+    #[test]
+    fn prop_strided_cost_is_gcd(
+        w in 1u32..=64,
+        base in 0u32..1_000_000,
+        stride in 0u32..4096,
+    ) {
+        let model = cfmerge::gpu_sim::BankModel::new(w);
+        let expect = if stride == 0 {
+            1
+        } else {
+            cfmerge::numtheory::gcd(u64::from(stride), u64::from(w)) as u32
+        };
+        prop_assert_eq!(model.strided_cost(base, stride).transactions, expect);
+    }
+}

@@ -1,0 +1,115 @@
+//! Prover ↔ profiler cross-check: phases the symbolic analyzer certifies
+//! conflict-free must show **zero** conflict rounds in the dynamic tracer
+//! on the Theorem-8 worst-case inputs (the adversarial regime the
+//! certificates quantify over), and phases the prover *refuses* to
+//! certify (the Thrust serial merge) must show real conflicts there —
+//! the refusal is informative, not conservative.
+
+use cfmerge::core::analysis::{check_registry, Expectation};
+use cfmerge::core::inputs::InputSpec;
+use cfmerge::core::params::SortParams;
+use cfmerge::core::sort::{simulate_sort_traced, SortAlgorithm, SortConfig};
+use cfmerge::gpu_sim::PhaseClass;
+
+fn worst_case_trace(algo: SortAlgorithm, e: usize, u: usize) -> cfmerge::gpu_sim::trace::SortTrace {
+    let config = SortConfig::with_params(SortParams::new(e, u));
+    let n = 4 * e * u;
+    let input = InputSpec::WorstCase { w: 32, e, u }.generate(n);
+    let traced = simulate_sort_traced(&input, algo, &config);
+    let mut expect = input;
+    expect.sort_unstable();
+    assert_eq!(traced.run.output, expect, "trace run must still sort");
+    traced.trace
+}
+
+/// Conflict rounds recorded under `class` across every block of every
+/// kernel launch.
+fn conflict_rounds_in(trace: &cfmerge::gpu_sim::trace::SortTrace, class: PhaseClass) -> usize {
+    trace
+        .kernels
+        .iter()
+        .flat_map(|k| &k.blocks)
+        .flat_map(|b| &b.conflicts)
+        .filter(|c| c.class == class)
+        .count()
+}
+
+#[test]
+fn certified_cf_phases_have_zero_conflict_rounds_on_worst_case() {
+    for (e, u) in [(15usize, 64usize), (17, 64)] {
+        // Layer 1: the prover certifies the CF pipeline's data-movement
+        // phases symbolically (no enumeration over inputs).
+        let reports = check_registry(SortAlgorithm::CfMerge, 32, e, u);
+        for phase in ["dual-gather", "load-tile", "permuting-load", "store-tile"] {
+            for r in reports.iter().filter(|r| r.spec.phase == phase) {
+                assert!(
+                    r.verdict.is_conflict_free(),
+                    "E={e}: expected a certificate for {phase}: {}",
+                    r.summary()
+                );
+            }
+        }
+        // Layer 2: the dynamic tracer agrees on the adversarial input the
+        // certificates quantify over.
+        let trace = worst_case_trace(SortAlgorithm::CfMerge, e, u);
+        for class in [PhaseClass::Gather, PhaseClass::LoadTile, PhaseClass::StoreTile] {
+            assert_eq!(
+                conflict_rounds_in(&trace, class),
+                0,
+                "E={e} u={u}: certified {} phase must record no conflict round",
+                class.label()
+            );
+        }
+        // The CF pipeline has no serial-merge phase at all.
+        assert_eq!(conflict_rounds_in(&trace, PhaseClass::Merge), 0);
+    }
+}
+
+#[test]
+fn uncertified_serial_merge_really_conflicts_on_worst_case() {
+    let (e, u) = (15usize, 64usize);
+    // The prover refuses the serial merge (comparison-driven addresses) …
+    let reports = check_registry(SortAlgorithm::ThrustMergesort, 32, e, u);
+    let refusals: Vec<_> = reports.iter().filter(|r| r.spec.phase == "serial-merge").collect();
+    assert_eq!(refusals.len(), 2, "blocksort + merge-pass serial merges");
+    for r in &refusals {
+        assert_eq!(r.spec.expected, Expectation::NotCertifiable, "{}", r.summary());
+        assert!(r.pass(), "{}", r.summary());
+    }
+    // … and the refusal is not conservatism: the worst-case input makes
+    // the phase conflict heavily in the dynamic tracer.
+    let trace = worst_case_trace(SortAlgorithm::ThrustMergesort, e, u);
+    let merge_conflicts = conflict_rounds_in(&trace, PhaseClass::Merge);
+    assert!(
+        merge_conflicts > 100,
+        "Thrust serial merge must conflict on the Theorem-8 input \
+         (saw {merge_conflicts} conflict rounds)"
+    );
+}
+
+#[test]
+fn mid_width_writeback_verdict_matches_tracer() {
+    // The prover's only non-free verdict in the coprime CF blocksort is
+    // the inter-round writeback at mid run widths (exactly 2
+    // transactions). The tracer must observe Sort-class conflict rounds
+    // of degree exactly 2 — no more — confirming the exact evaluation.
+    let (e, u) = (15usize, 64usize);
+    let reports = check_registry(SortAlgorithm::CfMerge, 32, e, u);
+    assert!(reports.iter().any(|r| r.spec.phase.starts_with("merge-writeback")
+        && r.spec.expected == Expectation::CertifiedDegree(2)
+        && r.pass()));
+    let trace = worst_case_trace(SortAlgorithm::CfMerge, e, u);
+    let sort_degrees: Vec<u32> = trace
+        .kernels
+        .iter()
+        .flat_map(|k| &k.blocks)
+        .flat_map(|b| &b.conflicts)
+        .filter(|c| c.class == PhaseClass::Sort)
+        .map(|c| c.degree)
+        .collect();
+    assert!(!sort_degrees.is_empty(), "mid-width writebacks do conflict");
+    assert!(
+        sort_degrees.iter().all(|&d| d == 2),
+        "every Sort-class conflict round has degree exactly 2: {sort_degrees:?}"
+    );
+}
