@@ -14,6 +14,7 @@
 
 use crate::sweep::Series;
 use cfmerge_core::metrics::speedup_summary;
+use cfmerge_core::recovery::{RecoveryCounters, RobustSortRun};
 use cfmerge_core::sort::{KernelReport, SortAlgorithm, SortRun};
 use cfmerge_gpu_sim::device::Device;
 use cfmerge_json::{FromJson, Json, JsonError, ToJson};
@@ -41,6 +42,10 @@ pub struct RunRecord {
     /// Per-launch detail: per-phase counters and the timing-model term
     /// breakdown for every kernel of the pipeline.
     pub kernels: Vec<KernelReport>,
+    /// Fault-injection/recovery counters, present only for runs produced
+    /// by the robust driver (`None` for plain pipeline runs, and for
+    /// artifacts written before the field existed).
+    pub recovery: Option<RecoveryCounters>,
 }
 
 impl RunRecord {
@@ -55,13 +60,24 @@ impl RunRecord {
             throughput: run.throughput(),
             merge_conflicts: run.profile.merge_bank_conflicts(),
             kernels: run.kernels.clone(),
+            recovery: None,
         }
+    }
+
+    /// Capture a run of the robust driver, folding its recovery counters
+    /// into the record. The `algorithm` field reports the pipeline that
+    /// actually produced the output (post-fallback).
+    #[must_use]
+    pub fn from_robust_run<K>(label: impl Into<String>, run: &RobustSortRun<K>) -> Self {
+        let mut rec = Self::from_run(label, run.algorithm, &run.run);
+        rec.recovery = Some(run.report.counters);
+        rec
     }
 }
 
 impl ToJson for RunRecord {
     fn to_json(&self) -> Json {
-        Json::obj([
+        let mut pairs = vec![
             ("label", Json::from(self.label.as_str())),
             ("algorithm", Json::from(self.algorithm.as_str())),
             ("n", Json::from(self.n)),
@@ -69,7 +85,11 @@ impl ToJson for RunRecord {
             ("throughput", Json::from(self.throughput)),
             ("merge_conflicts", Json::from(self.merge_conflicts)),
             ("kernels", self.kernels.to_json()),
-        ])
+        ];
+        if let Some(rc) = &self.recovery {
+            pairs.push(("recovery", rc.to_json()));
+        }
+        Json::obj(pairs)
     }
 }
 
@@ -83,6 +103,7 @@ impl FromJson for RunRecord {
             throughput: v.field("throughput")?,
             merge_conflicts: v.field("merge_conflicts")?,
             kernels: v.field("kernels")?,
+            recovery: v.field_opt("recovery")?,
         })
     }
 }
@@ -335,6 +356,45 @@ pub fn summary_table(artifact: &RunArtifact) -> String {
     )
 }
 
+/// Fault/recovery totals across an artifact's runs: one row per run that
+/// carries [`RecoveryCounters`], plus a totals row. `None` when no run
+/// does (plain pipeline artifacts, or pre-recovery schema files).
+#[must_use]
+pub fn recovery_table(artifact: &RunArtifact) -> Option<String> {
+    let with: Vec<(&RunRecord, &RecoveryCounters)> =
+        artifact.runs.iter().filter_map(|r| r.recovery.as_ref().map(|c| (r, c))).collect();
+    if with.is_empty() {
+        return None;
+    }
+    let mut total = RecoveryCounters::default();
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for (r, c) in &with {
+        total.merge(c);
+        rows.push(vec![
+            r.label.clone(),
+            c.faults_injected.to_string(),
+            c.faults_detected.to_string(),
+            c.retries.to_string(),
+            c.fallbacks.to_string(),
+            c.unrecovered.to_string(),
+        ]);
+    }
+    if with.len() > 1 {
+        rows.push(vec![
+            "TOTAL".into(),
+            total.faults_injected.to_string(),
+            total.faults_detected.to_string(),
+            total.retries.to_string(),
+            total.fallbacks.to_string(),
+            total.unrecovered.to_string(),
+        ]);
+    }
+    Some(cfmerge_core::metrics::format_table(
+        &["run", "injected", "detected", "retries", "fallbacks", "unrecovered"],
+        &rows,
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -413,6 +473,7 @@ mod tests {
                 throughput: 512.0 * 15.0 / (seconds * 1e6),
                 merge_conflicts: 7,
                 kernels: Vec::new(),
+                recovery: None,
             });
         }
         let mut imp = base.clone();

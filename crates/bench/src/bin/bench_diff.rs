@@ -12,7 +12,7 @@
 //! two revisions), then by label-without-algorithm (thrust vs CF-Merge
 //! inside one artifact); points are matched by `n`.
 
-use cfmerge_bench::artifact::{diff_table, summary_table, RunArtifact};
+use cfmerge_bench::artifact::{diff_table, recovery_table, summary_table, RunArtifact};
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -36,6 +36,10 @@ fn main() -> ExitCode {
                 art.tool, art.schema_version, art.device.name
             );
             println!("{}", summary_table(&art));
+            if let Some(t) = recovery_table(&art) {
+                println!("\n=== fault injection / recovery ===\n");
+                println!("{t}");
+            }
             ExitCode::SUCCESS
         }
         [base, improved] => {
@@ -45,6 +49,12 @@ fn main() -> ExitCode {
             };
             println!("=== speedup: {} (baseline) vs {} (improved) ===\n", base.tool, improved.tool);
             println!("{}", diff_table(&base, &improved));
+            for (name, art) in [("baseline", &base), ("improved", &improved)] {
+                if let Some(t) = recovery_table(art) {
+                    println!("\n=== fault injection / recovery ({name}: {}) ===\n", art.tool);
+                    println!("{t}");
+                }
+            }
             ExitCode::SUCCESS
         }
         _ => {

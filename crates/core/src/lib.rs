@@ -21,6 +21,10 @@
 //! * [`inputs`] — workload generators for the evaluation.
 //! * [`params`] — software parameters `(E, u)` incl. the paper's presets.
 //! * [`metrics`] — throughput/speedup reporting helpers.
+//! * [`verify`] / [`recovery`] — output verification (sortedness +
+//!   multiset checksums), block-granular re-execution under injected
+//!   faults, graceful degradation, and the batch [`recovery::SortService`]
+//!   (see `docs/ROBUSTNESS.md`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,5 +34,7 @@ pub mod gather;
 pub mod inputs;
 pub mod metrics;
 pub mod params;
+pub mod recovery;
 pub mod sort;
+pub mod verify;
 pub mod worst_case;

@@ -1,0 +1,1079 @@
+//! Verified recovery and graceful degradation for the sort pipelines,
+//! plus the batch [`SortService`] front-end.
+//!
+//! [`simulate_sort_robust`] runs the same pipeline as
+//! [`crate::sort::pipeline::simulate_sort`] but verifies every block's
+//! output (sortedness + multiset checksum, see [`crate::verify`]) and
+//! recovers from failures at block granularity:
+//!
+//! 1. **Retry**: a block whose output fails verification is re-executed
+//!    up to [`RobustConfig::max_retries`] times. Each retry is priced in
+//!    the timing model (the failed execution's profile becomes an extra
+//!    launch) plus exponential backoff
+//!    (`retry_backoff_s · 2^(r−1)` for retry `r`).
+//! 2. **Fallback**: a block that keeps failing — or a configuration that
+//!    cannot launch at all — degrades to the Thrust-style pipeline
+//!    (substituting Thrust's shipped `(E, u)` when the requested shape is
+//!    unlaunchable). Every degradation is reported in the
+//!    [`RecoveryReport`]; nothing degrades silently.
+//! 3. **Typed failure**: a fault that survives both retries and fallback
+//!    (a [`Persistence::Permanent`](cfmerge_gpu_sim::fault::Persistence)
+//!    site) surfaces as
+//!    [`SortError::UnrecoverableFault`] — never as silently corrupt
+//!    output.
+//!
+//! With an empty [`FaultPlan`] the robust driver produces bit-identical
+//! output, profile, and modeled seconds to the plain pipeline (one clean
+//! execution per block, verification passes first try).
+//!
+//! See `docs/ROBUSTNESS.md` for the full design.
+
+use crate::params::SortParams;
+use crate::sort::blocksort::{blocksort_block_faulty, MergeStrategy};
+use crate::sort::error::{validate_sort_config, Degradation, SortError};
+use crate::sort::key::SortKey;
+use crate::sort::merge_pass::{merge_pass_block_faulty, MergeChunkJob};
+use crate::sort::pipeline::{KernelReport, SortAlgorithm, SortConfig, SortRun};
+use crate::verify::{multiset_checksum, verify_sorted_checksum, VerifyFailure};
+use cfmerge_gpu_sim::check::NoCheck;
+use cfmerge_gpu_sim::fault::{BlockFaults, FaultInjector, FaultPlan, InjectionRecord};
+use cfmerge_gpu_sim::profiler::{KernelProfile, PhaseClass};
+use cfmerge_gpu_sim::trace::NullTracer;
+use cfmerge_json::{FromJson, Json, JsonError, ToJson};
+use cfmerge_mergepath::diagonal::merge_path_steps;
+use cfmerge_mergepath::partition::partition_merge;
+use rayon::prelude::*;
+
+/// Configuration of the robust driver: the underlying sort configuration
+/// plus the recovery policy.
+#[derive(Debug, Clone)]
+pub struct RobustConfig {
+    /// The sort configuration (parameters, device, timing model).
+    pub base: SortConfig,
+    /// Re-executions permitted per block before the driver gives up on
+    /// retrying (0 = verify once, never retry).
+    pub max_retries: u32,
+    /// Backoff charged before retry `r` (1-based): `retry_backoff_s ·
+    /// 2^(r−1)` modeled seconds.
+    pub retry_backoff_s: f64,
+    /// Whether the driver may degrade to the fallback pipeline when
+    /// retries are exhausted or the requested configuration cannot
+    /// launch. With `false`, those cases are typed errors.
+    pub allow_fallback: bool,
+}
+
+impl RobustConfig {
+    /// Default policy around a sort configuration: 2 retries, 1 µs base
+    /// backoff, fallback permitted.
+    #[must_use]
+    pub fn new(base: SortConfig) -> Self {
+        Self { base, max_retries: 2, retry_backoff_s: 1e-6, allow_fallback: true }
+    }
+}
+
+/// Scalar recovery counters, designed to fold into run artifacts so CI
+/// can assert "N faults injected, N detected, N recovered".
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryCounters {
+    /// Fault injections that actually fired (all kinds, spikes included).
+    pub faults_injected: u64,
+    /// Block verification failures observed (each failed attempt counts).
+    pub faults_detected: u64,
+    /// Distinct block executions that needed at least one retry.
+    pub blocks_retried: u64,
+    /// Total extra block executions (failed attempts that were re-run).
+    pub retries: u64,
+    /// Pipeline-level fallbacks taken.
+    pub fallbacks: u64,
+    /// Jobs that ended in [`SortError::UnrecoverableFault`] (only nonzero
+    /// in service-level aggregates — a run that returns `Ok` recovered
+    /// everything it detected).
+    pub unrecovered: u64,
+}
+
+impl RecoveryCounters {
+    /// Fold `other` into `self` field by field.
+    pub fn merge(&mut self, other: &RecoveryCounters) {
+        self.faults_injected += other.faults_injected;
+        self.faults_detected += other.faults_detected;
+        self.blocks_retried += other.blocks_retried;
+        self.retries += other.retries;
+        self.fallbacks += other.fallbacks;
+        self.unrecovered += other.unrecovered;
+    }
+}
+
+impl ToJson for RecoveryCounters {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("faults_injected", Json::from(self.faults_injected)),
+            ("faults_detected", Json::from(self.faults_detected)),
+            ("blocks_retried", Json::from(self.blocks_retried)),
+            ("retries", Json::from(self.retries)),
+            ("fallbacks", Json::from(self.fallbacks)),
+            ("unrecovered", Json::from(self.unrecovered)),
+        ])
+    }
+}
+
+impl FromJson for RecoveryCounters {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            faults_injected: v.field("faults_injected")?,
+            faults_detected: v.field("faults_detected")?,
+            blocks_retried: v.field("blocks_retried")?,
+            retries: v.field("retries")?,
+            fallbacks: v.field("fallbacks")?,
+            unrecovered: v.field("unrecovered")?,
+        })
+    }
+}
+
+/// One verification failure the driver observed, located to the launch,
+/// block, and attempt that produced it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetectionRecord {
+    /// Kernel launch name (`blocksort`, `merge-pass-0`, `output-verify`).
+    pub kernel: String,
+    /// Block index within the launch.
+    pub block: usize,
+    /// Execution attempt that failed (0 = first try).
+    pub attempt: u32,
+    /// What the verifier saw.
+    pub failure: VerifyFailure,
+}
+
+impl std::fmt::Display for DetectionRecord {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} block {} attempt {}: {}", self.kernel, self.block, self.attempt, self.failure)
+    }
+}
+
+impl ToJson for DetectionRecord {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("kernel", Json::from(self.kernel.as_str())),
+            ("block", Json::from(self.block)),
+            ("attempt", Json::from(self.attempt)),
+            ("failure", Json::from(self.failure.to_string().as_str())),
+        ])
+    }
+}
+
+/// Full forensic record of a robust run: what fired, what was caught,
+/// what it cost, and how the driver compromised (if it did).
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Scalar counters (artifact-friendly).
+    pub counters: RecoveryCounters,
+    /// Every fault injection that fired, in launch/block order.
+    pub injections: Vec<InjectionRecord>,
+    /// Every verification failure observed.
+    pub detections: Vec<DetectionRecord>,
+    /// Every degradation taken (empty = the requested pipeline ran as
+    /// asked).
+    pub degradations: Vec<Degradation>,
+    /// Modeled seconds of exponential backoff charged before retries.
+    pub backoff_seconds: f64,
+    /// Modeled seconds spent re-executing failed blocks.
+    pub retry_seconds: f64,
+    /// Modeled seconds of injected latency spikes.
+    pub spike_seconds: f64,
+}
+
+impl RecoveryReport {
+    /// `true` when nothing fired, nothing failed verification, and
+    /// nothing degraded: the run was indistinguishable from a plain one.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.injections.is_empty() && self.detections.is_empty() && self.degradations.is_empty()
+    }
+}
+
+impl ToJson for RecoveryReport {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("counters", self.counters.to_json()),
+            ("injections", Json::arr(self.injections.iter().map(ToJson::to_json))),
+            ("detections", Json::arr(self.detections.iter().map(ToJson::to_json))),
+            ("degradations", Json::arr(self.degradations.iter().map(ToJson::to_json))),
+            ("backoff_seconds", Json::from(self.backoff_seconds)),
+            ("retry_seconds", Json::from(self.retry_seconds)),
+            ("spike_seconds", Json::from(self.spike_seconds)),
+        ])
+    }
+}
+
+/// A sort that completed under the robust driver: the run itself, the
+/// pipeline that actually produced it, and the recovery forensics.
+#[derive(Debug, Clone)]
+pub struct RobustSortRun<K = u32> {
+    /// Output, profile, per-launch reports, modeled seconds
+    /// (`simulated_seconds` includes retries, backoff, and spikes).
+    pub run: SortRun<K>,
+    /// The pipeline that produced the output (differs from the request
+    /// after a fallback — and the report says why).
+    pub algorithm: SortAlgorithm,
+    /// What happened along the way.
+    pub report: RecoveryReport,
+}
+
+/// Blocks per kernel launch for a sort of `n` keys at `params` — the
+/// shape [`FaultPlan::generate`] needs. Launch 0 is the block sort; each
+/// of the `log₂(runs)` merge passes launches the same number of blocks.
+#[must_use]
+pub fn pipeline_shape(n: usize, params: &SortParams) -> Vec<u64> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let runs = n.div_ceil(params.tile()).next_power_of_two();
+    vec![runs as u64; 1 + runs.trailing_zeros() as usize]
+}
+
+fn strategy_of(algo: SortAlgorithm) -> MergeStrategy {
+    match algo {
+        SortAlgorithm::ThrustMergesort => MergeStrategy::DirectSerial,
+        SortAlgorithm::CfMerge => MergeStrategy::Gather,
+    }
+}
+
+/// Outcome of one block's execute-verify-retry loop.
+struct BlockExec {
+    /// Profile of the successful (or last) attempt.
+    profile: KernelProfile,
+    /// Merged profiles of every failed attempt that was re-run.
+    retry_profile: KernelProfile,
+    /// Total executions (1 = verified first try).
+    executions: u32,
+    /// Latency-spike cycles accumulated across all attempts.
+    spike_cycles: u64,
+    injections: Vec<InjectionRecord>,
+    detections: Vec<DetectionRecord>,
+    /// `Some` when the last permitted attempt still failed verification.
+    failure: Option<VerifyFailure>,
+}
+
+/// Execute-verify loop for one block: `attempt_fn` runs the kernel under
+/// the given injector and returns its profile, the spent injector, and
+/// the verification verdict on what it wrote.
+fn recover_block(
+    kernel_idx: u32,
+    kernel_name: &str,
+    block_idx: usize,
+    plan: &FaultPlan,
+    fallback: bool,
+    max_retries: u32,
+    mut attempt_fn: impl FnMut(BlockFaults) -> (KernelProfile, BlockFaults, Result<(), VerifyFailure>),
+) -> BlockExec {
+    let mut out = BlockExec {
+        profile: KernelProfile::new(),
+        retry_profile: KernelProfile::new(),
+        executions: 0,
+        spike_cycles: 0,
+        injections: Vec::new(),
+        detections: Vec::new(),
+        failure: None,
+    };
+    for attempt in 0..=max_retries {
+        let injector = plan.block_faults(kernel_idx, block_idx as u32, attempt, fallback);
+        let (profile, injector, verdict) = attempt_fn(injector);
+        out.executions = attempt + 1;
+        out.spike_cycles += injector.spike_cycles();
+        out.injections.extend(injector.into_records());
+        match verdict {
+            Ok(()) => {
+                out.profile = profile;
+                out.failure = None;
+                return out;
+            }
+            Err(failure) => {
+                out.detections.push(DetectionRecord {
+                    kernel: kernel_name.to_string(),
+                    block: block_idx,
+                    attempt,
+                    failure,
+                });
+                out.retry_profile.merge(&profile);
+                out.failure = Some(failure);
+            }
+        }
+    }
+    out
+}
+
+/// A block that exhausted its retries — the trigger for fallback (or,
+/// failing that, [`SortError::UnrecoverableFault`]).
+struct BlockFailure {
+    kernel: String,
+    block: usize,
+    attempts: u32,
+    failure: VerifyFailure,
+}
+
+impl BlockFailure {
+    fn into_error(self) -> SortError {
+        SortError::UnrecoverableFault {
+            kernel: self.kernel,
+            block: self.block,
+            attempts: self.attempts,
+            failure: self.failure,
+        }
+    }
+}
+
+/// Cross-run accumulator (survives a fallback restart).
+#[derive(Default)]
+struct RunStats {
+    counters: RecoveryCounters,
+    injections: Vec<InjectionRecord>,
+    detections: Vec<DetectionRecord>,
+    backoff_seconds: f64,
+    retry_seconds: f64,
+    spike_seconds: f64,
+}
+
+/// Fold one kernel's per-block outcomes into the stats, price the launch
+/// (main profile as one launch; retries as an extra launch; spikes at the
+/// device clock; backoff as configured), and surface the first
+/// unrecovered block if any.
+///
+/// Returns the kernel report plus the extra modeled seconds beyond the
+/// main launch.
+fn settle_kernel(
+    cfg: &SortConfig,
+    rcfg: &RobustConfig,
+    name: &str,
+    blocks: u64,
+    base_profile: KernelProfile,
+    execs: Vec<BlockExec>,
+    stats: &mut RunStats,
+) -> Result<(KernelReport, f64, Option<BlockFailure>), SortError> {
+    let mut profile = base_profile;
+    let mut retry_profile = KernelProfile::new();
+    let mut retried_execs = 0u64;
+    let mut spike_cycles = 0u64;
+    let mut backoff = 0.0f64;
+    let mut failure: Option<BlockFailure> = None;
+    for (block, mut ex) in execs.into_iter().enumerate() {
+        profile.merge(&ex.profile);
+        retry_profile.merge(&ex.retry_profile);
+        stats.counters.faults_injected += ex.injections.len() as u64;
+        stats.counters.faults_detected += ex.detections.len() as u64;
+        stats.injections.append(&mut ex.injections);
+        stats.detections.append(&mut ex.detections);
+        if ex.executions > 1 {
+            let retries = u64::from(ex.executions - 1);
+            stats.counters.blocks_retried += 1;
+            stats.counters.retries += retries;
+            retried_execs += retries;
+            // Σ_{r=1..retries} backoff · 2^(r−1) = backoff · (2^retries − 1).
+            backoff += rcfg.retry_backoff_s * (2f64.powi(retries as i32) - 1.0);
+        }
+        spike_cycles += ex.spike_cycles;
+        if failure.is_none() {
+            if let Some(f) = ex.failure {
+                failure = Some(BlockFailure {
+                    kernel: name.to_string(),
+                    block,
+                    attempts: ex.executions,
+                    failure: f,
+                });
+            }
+        }
+    }
+    let unlaunchable = |why| SortError::Unlaunchable { device: cfg.device.name.clone(), why };
+    let time = cfg
+        .timing
+        .kernel_time(&cfg.device, &profile.total(), &cfg.launch(blocks))
+        .map_err(unlaunchable)?;
+    let mut extra = 0.0f64;
+    if retried_execs > 0 {
+        let rt = cfg
+            .timing
+            .kernel_time(&cfg.device, &retry_profile.total(), &cfg.launch(retried_execs))
+            .map_err(unlaunchable)?;
+        extra += rt.seconds;
+        stats.retry_seconds += rt.seconds;
+    }
+    let spike_s = spike_cycles as f64 / cfg.device.clock_hz;
+    extra += spike_s;
+    stats.spike_seconds += spike_s;
+    extra += backoff;
+    stats.backoff_seconds += backoff;
+    Ok((KernelReport { name: name.to_string(), blocks, profile, time }, extra, failure))
+}
+
+/// One pipeline execution under the plan. `Ok(Err(_))` is a block that
+/// stayed failed after retries (the fallback trigger); outer `Err` is a
+/// configuration-level error.
+#[allow(clippy::too_many_arguments)]
+fn run_pipeline<K: SortKey>(
+    input: &[K],
+    algo: SortAlgorithm,
+    cfg: &SortConfig,
+    rcfg: &RobustConfig,
+    plan: &FaultPlan,
+    fallback: bool,
+    stats: &mut RunStats,
+) -> Result<Result<SortRun<K>, BlockFailure>, SortError> {
+    let banks = cfg.device.bank_model();
+    let strategy = strategy_of(algo);
+    let (e, u) = (cfg.params.e, cfg.params.u);
+    let tile = u * e;
+    let n = input.len();
+    if n == 0 {
+        return Ok(Ok(SortRun {
+            output: Vec::new(),
+            profile: KernelProfile::new(),
+            simulated_seconds: 0.0,
+            kernels: Vec::new(),
+            n: 0,
+        }));
+    }
+    let input_checksum = multiset_checksum(input);
+
+    let runs = n.div_ceil(tile).next_power_of_two();
+    let n_pad = runs * tile;
+    let mut src = input.to_vec();
+    src.resize(n_pad, K::MAX_SENTINEL);
+    let mut dst = vec![K::default(); n_pad];
+
+    let mut kernels: Vec<KernelReport> = Vec::new();
+    let mut seconds = 0.0f64;
+
+    // ---- Block sort (launch 0) ----
+    {
+        let execs: Vec<BlockExec> = src
+            .par_chunks(tile)
+            .zip(dst.par_chunks_mut(tile))
+            .enumerate()
+            .map(|(t, (s, d))| {
+                let expect = multiset_checksum(s);
+                recover_block(0, "blocksort", t, plan, fallback, rcfg.max_retries, |inj| {
+                    let (profile, NullTracer, NoCheck, inj) = blocksort_block_faulty(
+                        banks,
+                        u,
+                        e,
+                        strategy,
+                        s,
+                        d,
+                        t * tile,
+                        cfg.count_accesses,
+                        NullTracer,
+                        NoCheck,
+                        inj,
+                    );
+                    (profile, inj, verify_sorted_checksum(d, expect))
+                })
+            })
+            .collect();
+        let (report, extra, failed) =
+            settle_kernel(cfg, rcfg, "blocksort", runs as u64, KernelProfile::new(), execs, stats)?;
+        seconds += report.time.seconds + extra;
+        kernels.push(report);
+        if let Some(f) = failed {
+            return Ok(Err(f));
+        }
+        std::mem::swap(&mut src, &mut dst);
+    }
+
+    // ---- Merge passes (launches 1..) ----
+    let mut width = tile;
+    let mut pass = 0usize;
+    while width < n_pad {
+        let pair = 2 * width;
+        let kernel_idx = 1 + pass as u32;
+        let name = format!("merge-pass-{pass}");
+        let mut jobs: Vec<MergeChunkJob> = Vec::with_capacity(n_pad / tile);
+        let mut search_cost = KernelProfile::new();
+        for pair_lo in (0..n_pad).step_by(pair) {
+            let a = &src[pair_lo..pair_lo + width];
+            let b = &src[pair_lo + width..pair_lo + pair];
+            for c in partition_merge(a, b, tile) {
+                jobs.push(MergeChunkJob {
+                    a_begin: pair_lo + c.a_begin,
+                    a_end: pair_lo + c.a_end,
+                    b_begin: pair_lo + width + c.b_begin,
+                    b_end: pair_lo + width + c.b_end,
+                });
+            }
+            if cfg.count_accesses {
+                let blocks_in_pair = (pair / tile) as u64;
+                let steps = u64::from(merge_path_steps(pair / 2, width, width));
+                let s = search_cost.phase_mut(PhaseClass::Search);
+                s.global_ld_requests += blocks_in_pair * steps * 2;
+                s.global_ld_sectors += blocks_in_pair * steps * 2;
+                s.alu_ops += blocks_in_pair * steps * 6;
+            }
+        }
+        let execs: Vec<BlockExec> = jobs
+            .par_iter()
+            .zip(dst.par_chunks_mut(tile))
+            .enumerate()
+            .map(|(bi, (job, chunk))| {
+                // Checksum additivity: the block's expected checksum is
+                // the sum of its two input ranges' checksums.
+                let expect = multiset_checksum(&src[job.a_begin..job.a_end])
+                    .wrapping_add(multiset_checksum(&src[job.b_begin..job.b_end]));
+                recover_block(kernel_idx, &name, bi, plan, fallback, rcfg.max_retries, |inj| {
+                    let (profile, NullTracer, NoCheck, inj) = merge_pass_block_faulty(
+                        banks,
+                        u,
+                        e,
+                        strategy,
+                        &src,
+                        *job,
+                        chunk,
+                        cfg.count_accesses,
+                        NullTracer,
+                        NoCheck,
+                        inj,
+                    );
+                    (profile, inj, verify_sorted_checksum(chunk, expect))
+                })
+            })
+            .collect();
+        let blocks = jobs.len() as u64;
+        let (report, extra, failed) =
+            settle_kernel(cfg, rcfg, &name, blocks, search_cost, execs, stats)?;
+        seconds += report.time.seconds + extra;
+        kernels.push(report);
+        if let Some(f) = failed {
+            return Ok(Err(f));
+        }
+        std::mem::swap(&mut src, &mut dst);
+        width = pair;
+        pass += 1;
+    }
+
+    src.truncate(n);
+    // Defense in depth: the whole output against the whole input. Block
+    // verification should make this unreachable; if it ever fires, the
+    // run is treated exactly like a failed block (fallback, then typed
+    // error) — never returned as a success.
+    if let Err(failure) = verify_sorted_checksum(&src, input_checksum) {
+        stats.counters.faults_detected += 1;
+        stats.detections.push(DetectionRecord {
+            kernel: "output-verify".into(),
+            block: 0,
+            attempt: 0,
+            failure,
+        });
+        return Ok(Err(BlockFailure {
+            kernel: "output-verify".into(),
+            block: 0,
+            attempts: 1,
+            failure,
+        }));
+    }
+
+    let mut profile = KernelProfile::new();
+    for k in &kernels {
+        profile.merge(&k.profile);
+    }
+    Ok(Ok(SortRun { output: src, profile, simulated_seconds: seconds, kernels, n }))
+}
+
+/// Sort under fault injection with verified, block-granular recovery.
+///
+/// Every block's output is verified (sorted + multiset checksum of its
+/// input ranges); failed blocks are re-executed up to
+/// [`RobustConfig::max_retries`] times with priced retries and backoff;
+/// persistent failures degrade to the Thrust pipeline when
+/// [`RobustConfig::allow_fallback`] permits. The returned
+/// [`RecoveryReport`] records every injection, detection, and
+/// degradation. Faults that survive everything come back as
+/// [`SortError::UnrecoverableFault`] — a successful return is always a
+/// verified sorted permutation of the input.
+///
+/// Pass [`FaultPlan::none()`] for a production (no-injection) run: the
+/// result is bit-identical to [`crate::sort::pipeline::simulate_sort`],
+/// with verification as pure insurance.
+pub fn simulate_sort_robust<K: SortKey>(
+    input: &[K],
+    algo: SortAlgorithm,
+    config: &RobustConfig,
+    plan: &FaultPlan,
+) -> Result<RobustSortRun<K>, SortError> {
+    let mut stats = RunStats::default();
+    let mut degradations: Vec<Degradation> = Vec::new();
+    let mut cfg = config.base.clone();
+    let mut algo_used = algo;
+
+    match validate_sort_config(&cfg) {
+        Ok(()) => {}
+        Err(SortError::Unlaunchable { device, why }) if config.allow_fallback => {
+            let sub = SortParams::e17_u256();
+            degradations.push(Degradation::ParamsSubstituted {
+                from: (cfg.params.e, cfg.params.u),
+                to: (sub.e, sub.u),
+            });
+            degradations.push(Degradation::Fallback {
+                from: algo_used,
+                to: SortAlgorithm::ThrustMergesort,
+                reason: format!("requested configuration cannot launch on {device}: {why}"),
+            });
+            stats.counters.fallbacks += 1;
+            cfg.params = sub;
+            algo_used = SortAlgorithm::ThrustMergesort;
+            validate_sort_config(&cfg)?;
+        }
+        Err(e) => return Err(e),
+    }
+
+    let first = run_pipeline(input, algo_used, &cfg, config, plan, false, &mut stats)?;
+    let run = match first {
+        Ok(run) => run,
+        Err(block_failure) if config.allow_fallback => {
+            degradations.push(Degradation::Fallback {
+                from: algo_used,
+                to: SortAlgorithm::ThrustMergesort,
+                reason: format!(
+                    "{} block {} failed verification after {} attempts",
+                    block_failure.kernel, block_failure.block, block_failure.attempts
+                ),
+            });
+            stats.counters.fallbacks += 1;
+            algo_used = SortAlgorithm::ThrustMergesort;
+            match run_pipeline(input, algo_used, &cfg, config, plan, true, &mut stats)? {
+                Ok(run) => run,
+                Err(f) => return Err(f.into_error()),
+            }
+        }
+        Err(block_failure) => return Err(block_failure.into_error()),
+    };
+
+    Ok(RobustSortRun {
+        run,
+        algorithm: algo_used,
+        report: RecoveryReport {
+            counters: stats.counters,
+            injections: stats.injections,
+            detections: stats.detections,
+            degradations,
+            backoff_seconds: stats.backoff_seconds,
+            retry_seconds: stats.retry_seconds,
+            spike_seconds: stats.spike_seconds,
+        },
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Batch sort service
+// ---------------------------------------------------------------------------
+
+/// Handle to a job submitted to a [`SortService`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct JobId(u64);
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job-{}", self.0)
+    }
+}
+
+struct Job {
+    id: JobId,
+    label: String,
+    input: Vec<u32>,
+    algo: SortAlgorithm,
+    plan: FaultPlan,
+    deadline_s: Option<f64>,
+    cancelled: bool,
+}
+
+/// How one service job ended.
+#[derive(Debug)]
+pub struct JobOutcome {
+    /// The job's handle.
+    pub id: JobId,
+    /// The label it was submitted under.
+    pub label: String,
+    /// The verified run — or the typed reason there isn't one.
+    pub result: Result<RobustSortRun<u32>, SortError>,
+}
+
+impl JobOutcome {
+    /// The job's recovery counters; for failed jobs, a zeroed set with
+    /// `unrecovered = 1` when the failure was an unrecoverable fault.
+    #[must_use]
+    pub fn counters(&self) -> RecoveryCounters {
+        match &self.result {
+            Ok(run) => run.report.counters,
+            Err(SortError::UnrecoverableFault { .. }) => {
+                RecoveryCounters { unrecovered: 1, ..RecoveryCounters::default() }
+            }
+            Err(_) => RecoveryCounters::default(),
+        }
+    }
+}
+
+/// Sum the counters of a batch of outcomes (the artifact-level "N
+/// injected / N detected / N recovered" statement).
+#[must_use]
+pub fn aggregate_counters(outcomes: &[JobOutcome]) -> RecoveryCounters {
+    let mut total = RecoveryCounters::default();
+    for o in outcomes {
+        total.merge(&o.counters());
+    }
+    total
+}
+
+/// Degradation-aware batch front-end over [`simulate_sort_robust`]:
+/// submit jobs (optionally with fault plans and deadlines), cancel any of
+/// them, then [`SortService::run_all`] executes the batch concurrently
+/// and returns per-job typed outcomes.
+pub struct SortService {
+    config: RobustConfig,
+    jobs: Vec<Job>,
+    next_id: u64,
+}
+
+impl SortService {
+    /// A service running every job under `config`.
+    #[must_use]
+    pub fn new(config: RobustConfig) -> Self {
+        Self { config, jobs: Vec::new(), next_id: 0 }
+    }
+
+    /// Submit a production job (no fault injection, no deadline).
+    pub fn submit(&mut self, label: &str, input: Vec<u32>, algo: SortAlgorithm) -> JobId {
+        self.submit_with_faults(label, input, algo, FaultPlan::none(), None)
+    }
+
+    /// Submit a job with a fault plan and an optional deadline in modeled
+    /// seconds. A job whose modeled completion time (retries, backoff,
+    /// and spikes included) exceeds the deadline fails with
+    /// [`SortError::DeadlineExceeded`].
+    pub fn submit_with_faults(
+        &mut self,
+        label: &str,
+        input: Vec<u32>,
+        algo: SortAlgorithm,
+        plan: FaultPlan,
+        deadline_s: Option<f64>,
+    ) -> JobId {
+        let id = JobId(self.next_id);
+        self.next_id += 1;
+        self.jobs.push(Job {
+            id,
+            label: label.to_string(),
+            input,
+            algo,
+            plan,
+            deadline_s,
+            cancelled: false,
+        });
+        id
+    }
+
+    /// Cancel a pending job. Returns `false` if the id is unknown (or the
+    /// batch containing it already ran).
+    pub fn cancel(&mut self, id: JobId) -> bool {
+        match self.jobs.iter_mut().find(|j| j.id == id) {
+            Some(job) => {
+                job.cancelled = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of jobs waiting in the current batch (cancelled included —
+    /// they still produce an outcome).
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Run every submitted job concurrently and drain the batch. Outcomes
+    /// come back in submission order; cancelled jobs yield
+    /// [`SortError::Cancelled`] without running.
+    pub fn run_all(&mut self) -> Vec<JobOutcome> {
+        let jobs = std::mem::take(&mut self.jobs);
+        let config = &self.config;
+        jobs.into_par_iter()
+            .map(|job| {
+                let result = if job.cancelled {
+                    Err(SortError::Cancelled)
+                } else {
+                    simulate_sort_robust(&job.input, job.algo, config, &job.plan).and_then(|run| {
+                        match job.deadline_s {
+                            Some(d) if run.run.simulated_seconds > d => {
+                                Err(SortError::DeadlineExceeded {
+                                    deadline_s: d,
+                                    needed_s: run.run.simulated_seconds,
+                                })
+                            }
+                            _ => Ok(run),
+                        }
+                    })
+                };
+                JobOutcome { id: job.id, label: job.label, result }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inputs::InputSpec;
+    use crate::sort::pipeline::simulate_sort;
+    use crate::verify::verify_sorted_permutation;
+    use cfmerge_gpu_sim::fault::{FaultKind, FaultSite, Persistence};
+
+    fn small_rcfg() -> RobustConfig {
+        RobustConfig::new(SortConfig::with_params(SortParams::new(5, 32)))
+    }
+
+    fn site(kernel: u32, block: u32, kind: FaultKind, persistence: Persistence) -> FaultSite {
+        FaultSite { kernel, block, phase: 1, kind, persistence }
+    }
+
+    #[test]
+    fn clean_run_matches_plain_pipeline_exactly() {
+        let rcfg = small_rcfg();
+        let input = InputSpec::UniformRandom { seed: 11 }.generate(4 * 160 + 7);
+        for algo in [SortAlgorithm::ThrustMergesort, SortAlgorithm::CfMerge] {
+            let plain = simulate_sort(&input, algo, &rcfg.base);
+            let robust =
+                simulate_sort_robust(&input, algo, &rcfg, &FaultPlan::none()).expect("clean run");
+            assert_eq!(robust.run.output, plain.output);
+            assert_eq!(robust.run.simulated_seconds, plain.simulated_seconds, "{algo:?}");
+            assert_eq!(robust.run.kernels.len(), plain.kernels.len());
+            assert_eq!(robust.algorithm, algo);
+            assert!(robust.report.is_clean());
+            assert_eq!(robust.report.counters, RecoveryCounters::default());
+        }
+    }
+
+    #[test]
+    fn transient_fault_is_detected_and_retried() {
+        let rcfg = small_rcfg();
+        let input = InputSpec::UniformRandom { seed: 12 }.generate(4 * 160);
+        let plan = FaultPlan::from_sites(vec![site(
+            0,
+            0,
+            FaultKind::StuckBank { bank: 0, bit: 4 },
+            Persistence::Transient,
+        )]);
+        let r = simulate_sort_robust(&input, SortAlgorithm::CfMerge, &rcfg, &plan)
+            .expect("transient fault must recover");
+        verify_sorted_permutation(&input, &r.run.output).expect("output exactly sorted");
+        assert_eq!(r.algorithm, SortAlgorithm::CfMerge, "no fallback needed");
+        assert!(r.report.counters.faults_injected >= 1);
+        assert_eq!(r.report.counters.faults_detected, 1);
+        assert_eq!(r.report.counters.blocks_retried, 1);
+        assert_eq!(r.report.counters.retries, 1);
+        assert_eq!(r.report.counters.fallbacks, 0);
+        assert!(r.report.backoff_seconds > 0.0);
+        assert!(r.report.retry_seconds > 0.0);
+        let plain = simulate_sort(&input, SortAlgorithm::CfMerge, &rcfg.base);
+        assert!(
+            r.run.simulated_seconds > plain.simulated_seconds,
+            "recovery must cost modeled time"
+        );
+    }
+
+    #[test]
+    fn merge_pass_fault_recovers_via_checksum_additivity() {
+        let rcfg = small_rcfg();
+        let input = InputSpec::UniformRandom { seed: 21 }.generate(4 * 160);
+        let plan = FaultPlan::from_sites(vec![site(
+            1,
+            1,
+            FaultKind::StuckBank { bank: 3, bit: 7 },
+            Persistence::Transient,
+        )]);
+        let r = simulate_sort_robust(&input, SortAlgorithm::ThrustMergesort, &rcfg, &plan)
+            .expect("merge-pass fault must recover");
+        verify_sorted_permutation(&input, &r.run.output).expect("output exactly sorted");
+        assert_eq!(r.report.detections[0].kernel, "merge-pass-0");
+        assert_eq!(r.report.counters.retries, 1);
+    }
+
+    #[test]
+    fn sticky_fault_degrades_to_fallback() {
+        let rcfg = small_rcfg();
+        let input = InputSpec::UniformRandom { seed: 13 }.generate(2 * 160);
+        let plan = FaultPlan::from_sites(vec![site(
+            0,
+            1,
+            FaultKind::StuckBank { bank: 1, bit: 2 },
+            Persistence::Sticky,
+        )]);
+        let r = simulate_sort_robust(&input, SortAlgorithm::CfMerge, &rcfg, &plan)
+            .expect("sticky fault must recover via fallback");
+        verify_sorted_permutation(&input, &r.run.output).expect("output exactly sorted");
+        assert_eq!(r.algorithm, SortAlgorithm::ThrustMergesort);
+        assert_eq!(r.report.counters.fallbacks, 1);
+        assert!(matches!(r.report.degradations[0], Degradation::Fallback { .. }));
+        // Detected on the first try and on both retries before degrading.
+        assert_eq!(r.report.counters.faults_detected, 1 + u64::from(rcfg.max_retries));
+    }
+
+    #[test]
+    fn sticky_fault_without_fallback_is_typed() {
+        let mut rcfg = small_rcfg();
+        rcfg.allow_fallback = false;
+        let input = InputSpec::UniformRandom { seed: 14 }.generate(160);
+        let plan = FaultPlan::from_sites(vec![site(
+            0,
+            0,
+            FaultKind::StuckBank { bank: 1, bit: 2 },
+            Persistence::Sticky,
+        )]);
+        match simulate_sort_robust(&input, SortAlgorithm::CfMerge, &rcfg, &plan) {
+            Err(SortError::UnrecoverableFault { kernel, block, attempts, .. }) => {
+                assert_eq!(kernel, "blocksort");
+                assert_eq!(block, 0);
+                assert_eq!(attempts, rcfg.max_retries + 1);
+            }
+            other => panic!("expected UnrecoverableFault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn permanent_fault_is_unrecoverable_even_with_fallback() {
+        let rcfg = small_rcfg();
+        let input = InputSpec::UniformRandom { seed: 15 }.generate(160);
+        let plan = FaultPlan::from_sites(vec![site(
+            0,
+            0,
+            FaultKind::StuckBank { bank: 0, bit: 1 },
+            Persistence::Permanent,
+        )]);
+        match simulate_sort_robust(&input, SortAlgorithm::CfMerge, &rcfg, &plan) {
+            Err(SortError::UnrecoverableFault { .. }) => {}
+            other => panic!("expected UnrecoverableFault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unlaunchable_config_substitutes_params_and_reports() {
+        let mut rcfg = RobustConfig::new(SortConfig::with_params(SortParams::new(15, 2048)));
+        let input = InputSpec::UniformRandom { seed: 16 }.generate(10_000);
+        let r = simulate_sort_robust(&input, SortAlgorithm::CfMerge, &rcfg, &FaultPlan::none())
+            .expect("must degrade, not fail");
+        verify_sorted_permutation(&input, &r.run.output).expect("output exactly sorted");
+        assert_eq!(r.algorithm, SortAlgorithm::ThrustMergesort);
+        assert!(matches!(r.report.degradations[0], Degradation::ParamsSubstituted { .. }));
+        assert!(matches!(r.report.degradations[1], Degradation::Fallback { .. }));
+        rcfg.allow_fallback = false;
+        match simulate_sort_robust(&input, SortAlgorithm::CfMerge, &rcfg, &FaultPlan::none()) {
+            Err(SortError::Unlaunchable { .. }) => {}
+            other => panic!("expected Unlaunchable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn latency_spike_costs_time_but_needs_no_retry() {
+        let rcfg = small_rcfg();
+        let input = InputSpec::UniformRandom { seed: 17 }.generate(160);
+        let plan = FaultPlan::from_sites(vec![site(
+            0,
+            0,
+            FaultKind::LatencySpike { cycles: 1_000_000 },
+            Persistence::Transient,
+        )]);
+        let r = simulate_sort_robust(&input, SortAlgorithm::CfMerge, &rcfg, &plan).expect("ok");
+        assert!(r.run.output.is_sorted());
+        assert_eq!(r.report.counters.faults_detected, 0);
+        assert_eq!(r.report.counters.retries, 0);
+        assert!(r.report.spike_seconds > 0.0);
+        let plain = simulate_sort(&input, SortAlgorithm::CfMerge, &rcfg.base);
+        assert!(r.run.simulated_seconds > plain.simulated_seconds);
+    }
+
+    #[test]
+    fn empty_and_single_inputs_are_fine() {
+        let rcfg = small_rcfg();
+        let r = simulate_sort_robust::<u32>(&[], SortAlgorithm::CfMerge, &rcfg, &FaultPlan::none())
+            .expect("empty");
+        assert!(r.run.output.is_empty());
+        let r = simulate_sort_robust(&[42u32], SortAlgorithm::CfMerge, &rcfg, &FaultPlan::none())
+            .expect("single");
+        assert_eq!(r.run.output, vec![42]);
+    }
+
+    #[test]
+    fn pipeline_shape_matches_driver() {
+        let p = SortParams::new(5, 32); // tile = 160
+        assert_eq!(pipeline_shape(0, &p), Vec::<u64>::new());
+        assert_eq!(pipeline_shape(1, &p), vec![1]);
+        assert_eq!(pipeline_shape(160, &p), vec![1]);
+        assert_eq!(pipeline_shape(161, &p), vec![2, 2]);
+        assert_eq!(pipeline_shape(4 * 160, &p), vec![4, 4, 4]);
+    }
+
+    #[test]
+    fn service_runs_cancels_and_enforces_deadlines() {
+        let mut svc = SortService::new(small_rcfg());
+        let input = InputSpec::UniformRandom { seed: 18 }.generate(2 * 160);
+        let ok_id = svc.submit("ok", input.clone(), SortAlgorithm::CfMerge);
+        let cancel_id = svc.submit("cancel-me", input.clone(), SortAlgorithm::CfMerge);
+        let tight_id = svc.submit_with_faults(
+            "tight",
+            input.clone(),
+            SortAlgorithm::CfMerge,
+            FaultPlan::none(),
+            Some(1e-12),
+        );
+        let faulty_id = svc.submit_with_faults(
+            "faulty",
+            input.clone(),
+            SortAlgorithm::CfMerge,
+            FaultPlan::from_sites(vec![site(
+                0,
+                0,
+                FaultKind::StuckBank { bank: 0, bit: 0 },
+                Persistence::Transient,
+            )]),
+            Some(1.0),
+        );
+        assert!(svc.cancel(cancel_id));
+        assert!(!svc.cancel(JobId(999)));
+        assert_eq!(svc.pending(), 4);
+
+        let outcomes = svc.run_all();
+        assert_eq!(svc.pending(), 0);
+        assert_eq!(outcomes.len(), 4);
+        assert_eq!(outcomes[0].id, ok_id);
+        let ok_run = outcomes[0].result.as_ref().expect("ok job");
+        let mut expect = input.clone();
+        expect.sort_unstable();
+        assert_eq!(ok_run.run.output, expect);
+        assert_eq!(outcomes[1].id, cancel_id);
+        assert!(matches!(outcomes[1].result, Err(SortError::Cancelled)));
+        assert_eq!(outcomes[2].id, tight_id);
+        assert!(matches!(outcomes[2].result, Err(SortError::DeadlineExceeded { .. })));
+        assert_eq!(outcomes[3].id, faulty_id);
+        let faulty_run = outcomes[3].result.as_ref().expect("faulty job recovers");
+        assert_eq!(faulty_run.run.output, expect);
+
+        let total = aggregate_counters(&outcomes);
+        assert!(total.faults_injected >= 1);
+        assert_eq!(total.faults_detected, 1);
+        assert_eq!(total.retries, 1);
+        assert_eq!(total.unrecovered, 0);
+    }
+
+    #[test]
+    fn report_serializes() {
+        let rcfg = small_rcfg();
+        let input = InputSpec::UniformRandom { seed: 19 }.generate(160);
+        let plan = FaultPlan::from_sites(vec![site(
+            0,
+            0,
+            FaultKind::SharedBitFlip { bit: 3 },
+            Persistence::Transient,
+        )]);
+        let r = simulate_sort_robust(&input, SortAlgorithm::CfMerge, &rcfg, &plan).expect("ok");
+        let j = r.report.to_json();
+        assert!(j.req("counters").is_ok());
+        let back: RecoveryCounters =
+            RecoveryCounters::from_json(j.req("counters").unwrap()).expect("round trip");
+        assert_eq!(back, r.report.counters);
+    }
+}

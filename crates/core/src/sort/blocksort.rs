@@ -18,7 +18,8 @@
 //! round `k+1`'s layout (the "reorder during transfer" of Section 5).
 
 use super::kernels::{
-    gather_merge_from_shared, serial_merge_from_shared, shared_merge_path, PairLayout,
+    clamped_split, gather_merge_from_shared, serial_merge_from_shared, shared_merge_path,
+    PairLayout,
 };
 use crate::gather::layout::CfLayout;
 use crate::gather::schedule::ThreadSplit;
@@ -26,6 +27,7 @@ use crate::sort::key::SortKey;
 use cfmerge_gpu_sim::banks::BankModel;
 use cfmerge_gpu_sim::block::BlockSim;
 use cfmerge_gpu_sim::check::{MemCheck, NoCheck};
+use cfmerge_gpu_sim::fault::{FaultInjector, NoFaults};
 use cfmerge_gpu_sim::profiler::{KernelProfile, PhaseClass};
 use cfmerge_gpu_sim::trace::{NullTracer, Tracer};
 use cfmerge_mergepath::networks::{oets_ops, oets_sort};
@@ -143,6 +145,48 @@ pub fn blocksort_block_checked<K: SortKey, Tr: Tracer, Ck: MemCheck>(
     tracer: Tr,
     checker: Ck,
 ) -> (KernelProfile, Tr, Ck) {
+    let (profile, tracer, checker, NoFaults) = blocksort_block_faulty(
+        banks,
+        u,
+        e,
+        strategy,
+        src_tile,
+        dst_tile,
+        global_base,
+        count_accesses,
+        tracer,
+        checker,
+        NoFaults,
+    );
+    (profile, tracer, checker)
+}
+
+/// [`blocksort_block`] corrupted by a [`FaultInjector`] (see
+/// [`cfmerge_gpu_sim::fault`]) in addition to the tracer and checker
+/// hooks. With [`NoFaults`] this *is* [`blocksort_block_checked`] —
+/// bit-identical execution. With an active injector, scheduled bit-flips,
+/// stuck banks, and lane drop-outs corrupt the tile; corrupted merge-path
+/// search results are clamped into geometric bounds (see
+/// `clamped_split`) so corruption always surfaces as wrong output data —
+/// detectable by verification — never as a host-side panic.
+///
+/// # Panics
+/// Same conditions as [`blocksort_block`].
+#[must_use]
+#[allow(clippy::too_many_arguments, clippy::needless_range_loop)] // kernel signature mirrors the CUDA launch; loops index parallel register arrays
+pub fn blocksort_block_faulty<K: SortKey, Tr: Tracer, Ck: MemCheck, Fi: FaultInjector>(
+    banks: BankModel,
+    u: usize,
+    e: usize,
+    strategy: MergeStrategy,
+    src_tile: &[K],
+    dst_tile: &mut [K],
+    global_base: usize,
+    count_accesses: bool,
+    tracer: Tr,
+    checker: Ck,
+    injector: Fi,
+) -> (KernelProfile, Tr, Ck, Fi) {
     let w = banks.num_banks as usize;
     assert!(
         u.is_multiple_of(w) && u.is_power_of_two(),
@@ -152,7 +196,8 @@ pub fn blocksort_block_checked<K: SortKey, Tr: Tracer, Ck: MemCheck>(
     assert_eq!(src_tile.len(), tile);
     assert_eq!(dst_tile.len(), tile);
 
-    let mut block = BlockSim::<K, Tr, Ck>::with_checker(banks, u, tile, tracer, checker);
+    let mut block =
+        BlockSim::<K, Tr, Ck, Fi>::with_faults(banks, u, tile, tracer, checker, injector);
     block.set_counting(count_accesses);
 
     // 1. Coalesced load.
@@ -208,7 +253,8 @@ pub fn blocksort_block_checked<K: SortKey, Tr: Tracer, Ck: MemCheck>(
             });
             for tid in 0..u {
                 let next = if (tid + 1) % threads_per_pair == 0 { run_w } else { a_begin[tid + 1] };
-                splits[tid] = ThreadSplit { a_begin: a_begin[tid], a_len: next - a_begin[tid] };
+                let diag = (tid % threads_per_pair) * e;
+                splits[tid] = clamped_split(a_begin[tid], next, diag, e, run_w, run_w);
             }
         }
         // 3b. move to registers (serial merge or gather).
@@ -270,7 +316,7 @@ pub fn blocksort_block_checked<K: SortKey, Tr: Tracer, Ck: MemCheck>(
         }
     });
 
-    block.finish_checked()
+    block.finish_faulty()
 }
 
 fn pair_layout(

@@ -16,6 +16,7 @@ use crate::gather::schedule::{GatherSchedule, ThreadSplit};
 use crate::sort::key::SortKey;
 use cfmerge_gpu_sim::block::LaneCtx;
 use cfmerge_gpu_sim::check::MemCheck;
+use cfmerge_gpu_sim::fault::FaultInjector;
 use cfmerge_mergepath::diagonal::merge_path_by;
 use cfmerge_mergepath::networks::{oets_ops, oets_sort};
 
@@ -84,12 +85,46 @@ impl PairLayout {
     }
 }
 
+/// Assemble a thread's [`ThreadSplit`] from its own and its successor's
+/// search results, clamping `a_len` into the geometrically valid range.
+///
+/// On a clean run the clamp is the identity: merge-path splits are
+/// monotone and consecutive diagonals differ by `E`, so
+/// `next − a_begin ∈ [lo, hi]` already. Under fault injection a corrupted
+/// search can return any value within its binary-search bounds, making
+/// neighbor results non-monotone; without the clamp the split arithmetic
+/// would underflow or send the serial merge / gather schedule out of
+/// bounds (a host-side panic no real GPU would produce — the hardware
+/// would just read garbage). The clamp keeps every subsequent access
+/// in-bounds so corruption surfaces as *wrong data*, which verification
+/// catches, rather than as a simulator crash.
+///
+/// `diag` is the thread's output diagonal (`local_rank · E`), `a_total`/
+/// `b_total` the pair's run lengths. Requires `a_begin ≤ min(diag,
+/// a_total)` and `diag − a_begin ≤ b_total`, which the bounded
+/// merge-path binary search guarantees even with a corrupted comparator.
+pub(crate) fn clamped_split(
+    a_begin: usize,
+    next: usize,
+    diag: usize,
+    e: usize,
+    a_total: usize,
+    b_total: usize,
+) -> ThreadSplit {
+    let b_begin = diag - a_begin;
+    // lo ≤ hi because (local_rank + 1)·E ≤ a_total + b_total for every
+    // thread of the pair.
+    let lo = e.saturating_sub(b_total - b_begin);
+    let hi = e.min(a_total - a_begin);
+    ThreadSplit { a_begin, a_len: next.saturating_sub(a_begin).clamp(lo, hi) }
+}
+
 /// Merge-path binary search against shared memory: the split of the first
 /// `diag` outputs of the pair under `layout`. Charges two shared loads
 /// and a few ALU ops per iteration, exactly as the device code would.
 #[must_use]
-pub fn shared_merge_path<K: SortKey, Ck: MemCheck>(
-    lane: &mut LaneCtx<'_, K, Ck>,
+pub fn shared_merge_path<K: SortKey, Ck: MemCheck, Fi: FaultInjector>(
+    lane: &mut LaneCtx<'_, K, Ck, Fi>,
     layout: &PairLayout,
     diag: usize,
 ) -> usize {
@@ -110,8 +145,8 @@ pub fn shared_merge_path<K: SortKey, Ck: MemCheck>(
 /// head preloads), written to the thread's register array `out`.
 ///
 /// This is the phase the worst-case inputs of Section 4 attack.
-pub fn serial_merge_from_shared<K: SortKey, Ck: MemCheck>(
-    lane: &mut LaneCtx<'_, K, Ck>,
+pub fn serial_merge_from_shared<K: SortKey, Ck: MemCheck, Fi: FaultInjector>(
+    lane: &mut LaneCtx<'_, K, Ck, Fi>,
     layout: &PairLayout,
     split: ThreadSplit,
     b_begin: usize,
@@ -154,8 +189,8 @@ pub fn serial_merge_from_shared<K: SortKey, Ck: MemCheck>(
 /// `pair_tid` is the thread's index *within the pair* (equals `tid` for
 /// whole-block pairs). Requires the shared region to hold the permuted
 /// layout. Writes the merged outputs to `out`.
-pub fn gather_merge_from_shared<K: SortKey, Ck: MemCheck>(
-    lane: &mut LaneCtx<'_, K, Ck>,
+pub fn gather_merge_from_shared<K: SortKey, Ck: MemCheck, Fi: FaultInjector>(
+    lane: &mut LaneCtx<'_, K, Ck, Fi>,
     base: usize,
     layout: &CfLayout,
     pair_tid: usize,

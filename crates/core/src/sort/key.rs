@@ -12,7 +12,13 @@
 //! algorithms is identical in either convention.
 
 /// Keys the simulated pipelines can sort.
-pub trait SortKey: Copy + Ord + Default + Send + Sync + 'static {
+///
+/// The [`FaultWord`](cfmerge_gpu_sim::fault::FaultWord) supertrait gives
+/// the fault injector a bit pattern to corrupt; it costs nothing on
+/// fault-free runs.
+pub trait SortKey:
+    Copy + Ord + Default + Send + Sync + cfmerge_gpu_sim::fault::FaultWord + 'static
+{
     /// Padding sentinel, must compare ≥ every valid key (tiles are padded
     /// with it and the pad is truncated away after sorting).
     const MAX_SENTINEL: Self;

@@ -130,6 +130,31 @@ pub fn simulate_merge<K: SortKey>(
     }
 }
 
+/// Non-panicking variant of [`simulate_merge`]: configuration problems
+/// and unsorted inputs come back as a typed
+/// [`SortError`](super::error::SortError) instead of a panic (release
+/// builds of `simulate_merge` silently accept unsorted inputs; this
+/// entry point always checks).
+pub fn try_simulate_merge<K: SortKey>(
+    a: &[K],
+    b: &[K],
+    algo: SortAlgorithm,
+    config: &SortConfig,
+) -> Result<MergeRun<K>, super::error::SortError> {
+    super::error::validate_sort_config(config)?;
+    if !a.is_sorted() {
+        return Err(super::error::SortError::InvalidConfig {
+            reason: "merge input A is not sorted".into(),
+        });
+    }
+    if !b.is_sorted() {
+        return Err(super::error::SortError::InvalidConfig {
+            reason: "merge input B is not sorted".into(),
+        });
+    }
+    Ok(simulate_merge(a, b, algo, config))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

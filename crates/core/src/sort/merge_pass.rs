@@ -12,7 +12,8 @@
 
 use super::blocksort::MergeStrategy;
 use super::kernels::{
-    gather_merge_from_shared, serial_merge_from_shared, shared_merge_path, PairLayout,
+    clamped_split, gather_merge_from_shared, serial_merge_from_shared, shared_merge_path,
+    PairLayout,
 };
 use crate::gather::layout::CfLayout;
 use crate::gather::schedule::ThreadSplit;
@@ -20,6 +21,7 @@ use crate::sort::key::SortKey;
 use cfmerge_gpu_sim::banks::BankModel;
 use cfmerge_gpu_sim::block::BlockSim;
 use cfmerge_gpu_sim::check::{MemCheck, NoCheck};
+use cfmerge_gpu_sim::fault::{FaultInjector, NoFaults};
 use cfmerge_gpu_sim::profiler::{KernelProfile, PhaseClass};
 use cfmerge_gpu_sim::trace::{NullTracer, Tracer};
 
@@ -129,6 +131,48 @@ pub fn merge_pass_block_checked<K: SortKey, Tr: Tracer, Ck: MemCheck>(
     tracer: Tr,
     checker: Ck,
 ) -> (KernelProfile, Tr, Ck) {
+    let (profile, tracer, checker, NoFaults) = merge_pass_block_faulty(
+        banks,
+        u,
+        e,
+        strategy,
+        src,
+        job,
+        dst_chunk,
+        count_accesses,
+        tracer,
+        checker,
+        NoFaults,
+    );
+    (profile, tracer, checker)
+}
+
+/// [`merge_pass_block`] corrupted by a [`FaultInjector`] (see
+/// [`cfmerge_gpu_sim::fault`]) in addition to the tracer and checker
+/// hooks. With [`NoFaults`] this *is* [`merge_pass_block_checked`] —
+/// bit-identical execution. With an active injector, scheduled bit-flips,
+/// stuck banks, and lane drop-outs corrupt the chunk; corrupted
+/// merge-path search results are clamped into geometric bounds so
+/// corruption always surfaces as wrong output data — detectable by
+/// verification — never as a host-side panic.
+///
+/// # Panics
+/// Same conditions as [`merge_pass_block`].
+#[must_use]
+#[allow(clippy::too_many_arguments, clippy::needless_range_loop)] // kernel signature mirrors the CUDA launch; loops index parallel register arrays
+pub fn merge_pass_block_faulty<K: SortKey, Tr: Tracer, Ck: MemCheck, Fi: FaultInjector>(
+    banks: BankModel,
+    u: usize,
+    e: usize,
+    strategy: MergeStrategy,
+    src: &[K],
+    job: MergeChunkJob,
+    dst_chunk: &mut [K],
+    count_accesses: bool,
+    tracer: Tr,
+    checker: Ck,
+    injector: Fi,
+) -> (KernelProfile, Tr, Ck, Fi) {
     let w = banks.num_banks as usize;
     assert!(u.is_multiple_of(w), "u={u} must be a multiple of w={w}");
     let tile = u * e;
@@ -136,7 +180,8 @@ pub fn merge_pass_block_checked<K: SortKey, Tr: Tracer, Ck: MemCheck>(
     assert_eq!(dst_chunk.len(), tile);
     let a_len = job.a_len();
 
-    let mut block = BlockSim::<K, Tr, Ck>::with_checker(banks, u, tile, tracer, checker);
+    let mut block =
+        BlockSim::<K, Tr, Ck, Fi>::with_faults(banks, u, tile, tracer, checker, injector);
     block.set_counting(count_accesses);
 
     let layout = match strategy {
@@ -171,7 +216,7 @@ pub fn merge_pass_block_checked<K: SortKey, Tr: Tracer, Ck: MemCheck>(
         });
         for tid in 0..u {
             let next = if tid + 1 < u { a_begin[tid + 1] } else { a_len };
-            splits[tid] = ThreadSplit { a_begin: a_begin[tid], a_len: next - a_begin[tid] };
+            splits[tid] = clamped_split(a_begin[tid], next, tid * e, e, a_len, tile - a_len);
         }
     }
 
@@ -210,7 +255,7 @@ pub fn merge_pass_block_checked<K: SortKey, Tr: Tracer, Ck: MemCheck>(
         }
     });
 
-    block.finish_checked()
+    block.finish_faulty()
 }
 
 #[cfg(test)]

@@ -18,6 +18,7 @@
 //! sorted output, exact per-phase profile, and modeled runtime.
 
 pub mod blocksort;
+pub mod error;
 pub mod kernels;
 pub mod key;
 pub mod merge_api;
@@ -25,11 +26,12 @@ pub mod merge_pass;
 pub mod pairs;
 pub mod pipeline;
 
+pub use error::{validate_sort_config, Degradation, SortError};
 pub use key::{simulate_sort_f32, SortKey};
-pub use merge_api::{simulate_merge, MergeRun};
+pub use merge_api::{simulate_merge, try_simulate_merge, MergeRun};
 pub use pairs::{sort_pairs_stable, PairSortRun};
 pub use pipeline::{
     simulate_sort, simulate_sort_checked, simulate_sort_keys, simulate_sort_keys_checked,
-    simulate_sort_keys_traced, simulate_sort_traced, CheckedSortRun, KernelFinding, KernelReport,
-    SortAlgorithm, SortConfig, SortRun, TracedSortRun,
+    simulate_sort_keys_traced, simulate_sort_traced, try_simulate_sort, try_simulate_sort_keys,
+    CheckedSortRun, KernelFinding, KernelReport, SortAlgorithm, SortConfig, SortRun, TracedSortRun,
 };

@@ -186,6 +186,27 @@ pub fn simulate_sort_keys<K: SortKey>(
     simulate_sort_impl(input, algo, config, &|| NullTracer, &|| NoCheck).0
 }
 
+/// Non-panicking variant of [`simulate_sort`]: the configuration checks
+/// that `simulate_sort` enforces by panicking come back as a typed
+/// [`SortError`](super::error::SortError) instead.
+pub fn try_simulate_sort(
+    input: &[u32],
+    algo: SortAlgorithm,
+    config: &SortConfig,
+) -> Result<SortRun, super::error::SortError> {
+    try_simulate_sort_keys::<u32>(input, algo, config)
+}
+
+/// Generic-key variant of [`try_simulate_sort`].
+pub fn try_simulate_sort_keys<K: SortKey>(
+    input: &[K],
+    algo: SortAlgorithm,
+    config: &SortConfig,
+) -> Result<SortRun<K>, super::error::SortError> {
+    super::error::validate_sort_config(config)?;
+    Ok(simulate_sort_keys(input, algo, config))
+}
+
 /// [`simulate_sort`] with full structured tracing: every thread block of
 /// every launch records its phase timeline and conflicted rounds into a
 /// [`SortTrace`] (see `cfmerge_gpu_sim::trace`).

@@ -27,6 +27,7 @@
 
 use crate::banks::{BankModel, RoundCost};
 use crate::check::{MemCheck, NoCheck};
+use crate::fault::{FaultInjector, FaultWord, NoFaults};
 use crate::global::sectors_touched;
 use crate::profiler::{KernelProfile, PhaseClass};
 use crate::trace::{GlobalRoundEvent, NullTracer, SharedRoundEvent, Tracer};
@@ -76,8 +77,16 @@ pub struct WarpPhaseLog {
 /// blocks are identical to the pre-tracing engine. The third is the
 /// [`MemCheck`] hazard checker (see [`crate::check`]); the default
 /// [`NoCheck`] likewise vanishes at compile time, leaving the built-in
-/// panic-on-race asserts in force.
-pub struct BlockSim<T: Copy, Tr: Tracer = NullTracer, Ck: MemCheck = NoCheck> {
+/// panic-on-race asserts in force. The fourth is the [`FaultInjector`]
+/// corrupting execution (see [`crate::fault`]); the default [`NoFaults`]
+/// also compiles away, so an un-injected block is bit-identical to the
+/// pre-fault engine.
+pub struct BlockSim<
+    T: Copy,
+    Tr: Tracer = NullTracer,
+    Ck: MemCheck = NoCheck,
+    Fi: FaultInjector = NoFaults,
+> {
     banks: BankModel,
     /// Threads per block (`u` in the paper; must be a multiple of `w`).
     u: usize,
@@ -94,6 +103,11 @@ pub struct BlockSim<T: Copy, Tr: Tracer = NullTracer, Ck: MemCheck = NoCheck> {
     pub logs: Vec<WarpPhaseLog>,
     tracer: Tr,
     checker: Ck,
+    injector: Fi,
+    /// XOR-corruption applier: identity unless built via [`Self::with_faults`],
+    /// which keeps `T: Copy + Default` users free of any bits-conversion
+    /// bound while letting faulted blocks flip bits in any [`FaultWord`].
+    flip: fn(T, u64) -> T,
     // Reusable scratch (one slot per lane of a warp).
     shared_traces: Vec<Vec<SharedAcc>>,
     global_traces: Vec<Vec<GlobalAcc>>,
@@ -136,11 +150,55 @@ impl<T: Copy + Default, Tr: Tracer, Ck: MemCheck> BlockSim<T, Tr, Ck> {
         u: usize,
         shared_len: usize,
         tracer: Tr,
+        checker: Ck,
+    ) -> Self {
+        Self::with_hooks(banks, u, shared_len, tracer, checker, NoFaults, |v, _| v)
+    }
+}
+
+impl<T: Copy + Default + FaultWord, Tr: Tracer, Ck: MemCheck, Fi: FaultInjector>
+    BlockSim<T, Tr, Ck, Fi>
+{
+    /// New block corrupted by `injector` (see [`crate::fault`]), observed
+    /// by `tracer` and audited by `checker`. Requires `T: FaultWord` so
+    /// the injector's XOR masks can be applied to stored/loaded values —
+    /// the only constructor with that bound.
+    ///
+    /// # Panics
+    /// Panics if `u` is zero or not a multiple of the warp width.
+    #[must_use]
+    pub fn with_faults(
+        banks: BankModel,
+        u: usize,
+        shared_len: usize,
+        tracer: Tr,
+        checker: Ck,
+        injector: Fi,
+    ) -> Self {
+        Self::with_hooks(banks, u, shared_len, tracer, checker, injector, |v, m| {
+            if m == 0 {
+                v
+            } else {
+                T::from_fault_bits(v.to_fault_bits() ^ m)
+            }
+        })
+    }
+}
+
+impl<T: Copy + Default, Tr: Tracer, Ck: MemCheck, Fi: FaultInjector> BlockSim<T, Tr, Ck, Fi> {
+    fn with_hooks(
+        banks: BankModel,
+        u: usize,
+        shared_len: usize,
+        tracer: Tr,
         mut checker: Ck,
+        mut injector: Fi,
+        flip: fn(T, u64) -> T,
     ) -> Self {
         let w = banks.num_banks as usize;
         assert!(u > 0 && u.is_multiple_of(w), "u={u} must be a positive multiple of w={w}");
         checker.begin_block(w, u, shared_len);
+        injector.begin_block(w, u, shared_len);
         Self {
             banks,
             u,
@@ -154,13 +212,15 @@ impl<T: Copy + Default, Tr: Tracer, Ck: MemCheck> BlockSim<T, Tr, Ck> {
             logs: Vec::new(),
             tracer,
             checker,
+            injector,
+            flip,
             shared_traces: vec![Vec::new(); w],
             global_traces: vec![Vec::new(); w],
         }
     }
 }
 
-impl<T: Copy, Tr: Tracer, Ck: MemCheck> BlockSim<T, Tr, Ck> {
+impl<T: Copy, Tr: Tracer, Ck: MemCheck, Fi: FaultInjector> BlockSim<T, Tr, Ck, Fi> {
     /// The tracer observing this block.
     #[must_use]
     pub fn tracer(&self) -> &Tr {
@@ -185,6 +245,18 @@ impl<T: Copy, Tr: Tracer, Ck: MemCheck> BlockSim<T, Tr, Ck> {
         self.checker
     }
 
+    /// The fault injector corrupting this block.
+    #[must_use]
+    pub fn injector(&self) -> &Fi {
+        &self.injector
+    }
+
+    /// Consume the block and return its injector (for forensic records).
+    #[must_use]
+    pub fn into_injector(self) -> Fi {
+        self.injector
+    }
+
     /// Consume the block, returning its accumulated profile and tracer —
     /// the pair a traced kernel hands back to its launcher.
     #[must_use]
@@ -196,6 +268,13 @@ impl<T: Copy, Tr: Tracer, Ck: MemCheck> BlockSim<T, Tr, Ck> {
     #[must_use]
     pub fn finish_checked(self) -> (KernelProfile, Tr, Ck) {
         (self.profile, self.tracer, self.checker)
+    }
+
+    /// Consume the block, returning profile, tracer, checker, and
+    /// injector — what a fault-injected kernel hands its recovery driver.
+    #[must_use]
+    pub fn finish_faulty(self) -> (KernelProfile, Tr, Ck, Fi) {
+        (self.profile, self.tracer, self.checker, self.injector)
     }
 
     /// Warp width `w`.
@@ -244,11 +323,14 @@ impl<T: Copy, Tr: Tracer, Ck: MemCheck> BlockSim<T, Tr, Ck> {
     /// under `class`.
     pub fn phase<F>(&mut self, class: PhaseClass, mut body: F)
     where
-        F: FnMut(usize, &mut LaneCtx<'_, T, Ck>),
+        F: FnMut(usize, &mut LaneCtx<'_, T, Ck, Fi>),
     {
         self.epoch = self.epoch.wrapping_add(1);
         self.tracer.phase_begin(class);
         self.checker.phase_begin(class);
+        if Fi::ACTIVE {
+            self.injector.phase_begin(class);
+        }
         let w = self.warp_width();
         let warps = self.warps();
         let mut alu_total = 0u64;
@@ -276,6 +358,8 @@ impl<T: Copy, Tr: Tracer, Ck: MemCheck> BlockSim<T, Tr, Ck> {
                         global_trace: &mut self.global_traces[lane],
                         alu: &mut alu,
                         checker: &mut self.checker,
+                        injector: &mut self.injector,
+                        flip: self.flip,
                     };
                     body(tid, &mut ctx);
                 }
@@ -292,6 +376,9 @@ impl<T: Copy, Tr: Tracer, Ck: MemCheck> BlockSim<T, Tr, Ck> {
         }
         self.tracer.phase_end(class);
         self.checker.phase_end(class);
+        if Fi::ACTIVE {
+            self.injector.phase_end();
+        }
     }
 
     /// Convenience: run a phase with no memory side effects, charging only
@@ -301,9 +388,15 @@ impl<T: Copy, Tr: Tracer, Ck: MemCheck> BlockSim<T, Tr, Ck> {
         self.profile.phase_mut(class).alu_ops += ops;
         self.tracer.phase_begin(class);
         self.checker.phase_begin(class);
+        if Fi::ACTIVE {
+            self.injector.phase_begin(class);
+        }
         self.tracer.alu(class, ops);
         self.tracer.phase_end(class);
         self.checker.phase_end(class);
+        if Fi::ACTIVE {
+            self.injector.phase_end();
+        }
     }
 
     fn account_warp(&mut self, class: PhaseClass, warp: usize) {
@@ -421,7 +514,12 @@ impl<T: Copy, Tr: Tracer, Ck: MemCheck> BlockSim<T, Tr, Ck> {
 /// findings instead of panics; suppressed loads yield `T::default()`),
 /// and the built-in panicking race asserts stand down in favor of the
 /// checker's shadow-memory race detection.
-pub struct LaneCtx<'a, T: Copy, Ck: MemCheck = NoCheck> {
+///
+/// With an *active* [`FaultInjector`] attached, loads and stores may be
+/// corrupted (XOR masks) or dropped (lane drop-outs); the traffic is
+/// recorded and costed either way — on real hardware a faulted store
+/// still occupies its transaction.
+pub struct LaneCtx<'a, T: Copy, Ck: MemCheck = NoCheck, Fi: FaultInjector = NoFaults> {
     shared: &'a mut [T],
     write_epoch: &'a mut [u32],
     write_lane: &'a mut [u32],
@@ -432,9 +530,11 @@ pub struct LaneCtx<'a, T: Copy, Ck: MemCheck = NoCheck> {
     global_trace: &'a mut Vec<GlobalAcc>,
     alu: &'a mut u64,
     checker: &'a mut Ck,
+    injector: &'a mut Fi,
+    flip: fn(T, u64) -> T,
 }
 
-impl<T: Copy + Default, Ck: MemCheck> LaneCtx<'_, T, Ck> {
+impl<T: Copy + Default, Ck: MemCheck, Fi: FaultInjector> LaneCtx<'_, T, Ck, Fi> {
     /// This thread's id within the block.
     #[must_use]
     pub fn tid(&self) -> usize {
@@ -466,6 +566,10 @@ impl<T: Copy + Default, Ck: MemCheck> LaneCtx<'_, T, Ck> {
         if self.counting {
             self.shared_trace.push(SharedAcc { addr: idx as u32, store: false });
         }
+        if Fi::ACTIVE {
+            let mask = self.injector.shared_ld_mask(self.tid, idx);
+            return (self.flip)(self.shared[idx], mask);
+        }
         self.shared[idx]
     }
 
@@ -493,6 +597,14 @@ impl<T: Copy + Default, Ck: MemCheck> LaneCtx<'_, T, Ck> {
         if self.counting {
             self.shared_trace.push(SharedAcc { addr: idx as u32, store: true });
         }
+        if Fi::ACTIVE {
+            if self.injector.drops_store(self.tid) {
+                return; // lane drop-out: traffic costed, data never commits
+            }
+            let mask = self.injector.shared_st_mask(self.tid, idx);
+            self.shared[idx] = (self.flip)(v, mask);
+            return;
+        }
         self.shared[idx] = v;
     }
 
@@ -516,6 +628,14 @@ impl<T: Copy + Default, Ck: MemCheck> LaneCtx<'_, T, Ck> {
         }
         if self.counting {
             self.global_trace.push(GlobalAcc { idx: idx as u64, store: true });
+        }
+        if Fi::ACTIVE {
+            if self.injector.drops_store(self.tid) {
+                return;
+            }
+            let mask = self.injector.global_st_mask(self.tid, idx);
+            data[idx] = (self.flip)(v, mask);
+            return;
         }
         data[idx] = v;
     }
@@ -541,6 +661,28 @@ impl<T: Copy + Default, Ck: MemCheck> LaneCtx<'_, T, Ck> {
         }
         if self.counting {
             self.global_trace.push(GlobalAcc { idx: idx as u64, store: true });
+        }
+    }
+
+    /// Whether this lane's stores are currently dropped by the fault
+    /// injector. Kernels that commit their output *outside* the engine
+    /// (the [`Self::mark_global_st`] pattern) must consult this
+    /// themselves — `st`/`st_global` handle it automatically.
+    pub fn store_dropped(&mut self) -> bool {
+        Fi::ACTIVE && self.injector.drops_store(self.tid)
+    }
+
+    /// Apply the injector's global-store corruption to `v` destined for
+    /// element `idx` — the data-path companion to
+    /// [`Self::mark_global_st`] for kernels staging writes outside the
+    /// engine. Identity when no injector is attached.
+    #[must_use]
+    pub fn corrupt_global_st(&mut self, idx: usize, v: T) -> T {
+        if Fi::ACTIVE {
+            let mask = self.injector.global_st_mask(self.tid, idx);
+            (self.flip)(v, mask)
+        } else {
+            v
         }
     }
 

@@ -29,6 +29,10 @@
 //!   [`check::MemCheck`] hook, plus a symbolic affine-address prover that
 //!   certifies schedules conflict-free for *all* inputs via the paper's
 //!   Corollaries 17/18 (see docs/ANALYSIS.md).
+//! * [`fault`] — deterministic fault injection behind a zero-cost
+//!   [`fault::FaultInjector`] hook: seeded [`fault::FaultPlan`]s of
+//!   bit-flips, stuck banks, lane drop-outs, and latency spikes, with
+//!   every firing recorded for forensics (see docs/ROBUSTNESS.md).
 //!
 //! The simulator is *exact* for conflict counts (they are a deterministic
 //! function of the addresses issued per lock-step round) and *modeled* for
@@ -52,6 +56,7 @@ pub mod banks;
 pub mod block;
 pub mod check;
 pub mod device;
+pub mod fault;
 pub mod global;
 pub mod occupancy;
 pub mod profiler;
@@ -63,6 +68,10 @@ pub use banks::{BankModel, RoundCost};
 pub use block::{BlockSim, LaneCtx};
 pub use check::{MemCheck, NoCheck, Sanitizer};
 pub use device::Device;
+pub use fault::{
+    BlockFaults, FaultInjector, FaultKind, FaultPlan, FaultSite, FaultSpec, FaultWord,
+    InjectionRecord, NoFaults, Persistence,
+};
 pub use occupancy::{occupancy, BlockResources, Occupancy};
 pub use profiler::{KernelProfile, PhaseClass, PhaseCounters};
 pub use timing::{LaunchConfig, TimeBreakdown, TimingModel};

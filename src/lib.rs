@@ -46,12 +46,18 @@ pub use cfmerge_numtheory as numtheory;
 pub mod prelude {
     pub use cfmerge_core::gather::{dual_scan_block, CfLayout, ThreadSplit};
     pub use cfmerge_core::inputs::InputSpec;
+    pub use cfmerge_core::recovery::{
+        simulate_sort_robust, RecoveryCounters, RecoveryReport, RobustConfig, RobustSortRun,
+        SortService,
+    };
     pub use cfmerge_core::sort::{
-        simulate_sort, simulate_sort_keys, simulate_sort_traced, sort_pairs_stable, SortAlgorithm,
-        SortConfig, SortKey, SortRun, TracedSortRun,
+        simulate_sort, simulate_sort_keys, simulate_sort_traced, sort_pairs_stable,
+        try_simulate_sort, Degradation, SortAlgorithm, SortConfig, SortError, SortKey, SortRun,
+        TracedSortRun,
     };
     pub use cfmerge_core::worst_case::WorstCaseBuilder;
     pub use cfmerge_gpu_sim::device::Device;
+    pub use cfmerge_gpu_sim::fault::{FaultPlan, FaultSpec};
     pub use cfmerge_gpu_sim::profiler::KernelProfile;
     pub use cfmerge_gpu_sim::timing::TimingModel;
     pub use cfmerge_gpu_sim::trace::{ConflictForensics, SortTrace, Tracer};
