@@ -15,6 +15,7 @@
 use crate::sweep::Series;
 use cfmerge_core::metrics::speedup_summary;
 use cfmerge_core::recovery::{RecoveryCounters, RobustSortRun};
+use cfmerge_core::resilience::ServiceCounters;
 use cfmerge_core::sort::{KernelReport, SortAlgorithm, SortRun};
 use cfmerge_gpu_sim::device::Device;
 use cfmerge_json::{FromJson, Json, JsonError, ToJson};
@@ -71,6 +72,19 @@ impl RunRecord {
     pub fn from_robust_run<K>(label: impl Into<String>, run: &RobustSortRun<K>) -> Self {
         let mut rec = Self::from_run(label, run.algorithm, &run.run);
         rec.recovery = Some(run.report.counters);
+        rec
+    }
+
+    /// Like [`RunRecord::from_robust_run`] but without the per-kernel
+    /// detail — the compact per-job summary campaign artifacts use
+    /// (a 128-job chaos sweep with full kernel breakdowns is tens of
+    /// thousands of lines for numbers nobody diffs). Headline scalars,
+    /// the modeled seconds, and the recovery counters are all kept, so
+    /// `bench_diff` tables are unchanged.
+    #[must_use]
+    pub fn compact_from_robust_run<K>(label: impl Into<String>, run: &RobustSortRun<K>) -> Self {
+        let mut rec = Self::from_robust_run(label, run);
+        rec.kernels.clear();
         rec
     }
 }
@@ -377,6 +391,8 @@ pub fn recovery_table(artifact: &RunArtifact) -> Option<String> {
             c.retries.to_string(),
             c.fallbacks.to_string(),
             c.unrecovered.to_string(),
+            c.hedges_launched.to_string(),
+            c.hedges_won.to_string(),
         ]);
     }
     if with.len() > 1 {
@@ -387,12 +403,44 @@ pub fn recovery_table(artifact: &RunArtifact) -> Option<String> {
             total.retries.to_string(),
             total.fallbacks.to_string(),
             total.unrecovered.to_string(),
+            total.hedges_launched.to_string(),
+            total.hedges_won.to_string(),
         ]);
     }
     Some(cfmerge_core::metrics::format_table(
-        &["run", "injected", "detected", "retries", "fallbacks", "unrecovered"],
+        &["run", "injected", "detected", "retries", "fallbacks", "unrecovered", "hedged", "h-won"],
         &rows,
     ))
+}
+
+/// Service-level resilience tallies, rendered from the artifact's
+/// `service` summary (written by service-mode campaigns). `None` when
+/// the artifact predates the resilience schema or was produced by a
+/// non-service tool.
+#[must_use]
+pub fn service_table(artifact: &RunArtifact) -> Option<String> {
+    let sc = artifact.summaries.get("service").and_then(|v| ServiceCounters::from_json(v).ok())?;
+    let rows = vec![
+        vec!["submitted".into(), sc.submitted.to_string()],
+        vec!["admitted".into(), sc.admitted.to_string()],
+        vec!["executed".into(), sc.executed.to_string()],
+        vec!["verified ok".into(), sc.verified_ok.to_string()],
+        vec!["failed (typed)".into(), sc.failed.to_string()],
+        vec!["cancelled".into(), sc.cancelled.to_string()],
+        vec!["shed: overload".into(), sc.shed_overload.to_string()],
+        vec!["shed: largest".into(), sc.shed_largest.to_string()],
+        vec!["shed: deadline".into(), sc.shed_deadline.to_string()],
+        vec!["invalid deadlines".into(), sc.invalid_deadline.to_string()],
+        vec!["budget denials".into(), sc.budget_denied.to_string()],
+        vec!["breaker opens".into(), sc.breaker_opens.to_string()],
+        vec!["breaker half-opens".into(), sc.breaker_half_opens.to_string()],
+        vec!["breaker closes".into(), sc.breaker_closes.to_string()],
+        vec!["quarantined".into(), sc.quarantined.to_string()],
+        vec!["probes".into(), sc.probes.to_string()],
+        vec!["resumed".into(), sc.resumed.to_string()],
+        vec!["checkpoints taken".into(), sc.checkpoints_taken.to_string()],
+    ];
+    Some(cfmerge_core::metrics::format_table(&["service metric", "value"], &rows))
 }
 
 #[cfg(test)]

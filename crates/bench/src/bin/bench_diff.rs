@@ -12,7 +12,9 @@
 //! two revisions), then by label-without-algorithm (thrust vs CF-Merge
 //! inside one artifact); points are matched by `n`.
 
-use cfmerge_bench::artifact::{diff_table, recovery_table, summary_table, RunArtifact};
+use cfmerge_bench::artifact::{
+    diff_table, recovery_table, service_table, summary_table, RunArtifact,
+};
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -40,6 +42,10 @@ fn main() -> ExitCode {
                 println!("\n=== fault injection / recovery ===\n");
                 println!("{t}");
             }
+            if let Some(t) = service_table(&art) {
+                println!("\n=== service resilience ===\n");
+                println!("{t}");
+            }
             ExitCode::SUCCESS
         }
         [base, improved] => {
@@ -52,6 +58,10 @@ fn main() -> ExitCode {
             for (name, art) in [("baseline", &base), ("improved", &improved)] {
                 if let Some(t) = recovery_table(art) {
                     println!("\n=== fault injection / recovery ({name}: {}) ===\n", art.tool);
+                    println!("{t}");
+                }
+                if let Some(t) = service_table(art) {
+                    println!("\n=== service resilience ({name}: {}) ===\n", art.tool);
                     println!("{t}");
                 }
             }

@@ -1,29 +1,45 @@
-//! Chaos sweep: pinned-seed fault-injection campaign over both pipelines
-//! with verified recovery, exercised through the batch `SortService`.
+//! Chaos campaigns for the robust sort service.
 //!
-//! For each of 64 pinned seeds × 2 pipelines, a deterministic
-//! [`FaultPlan`] (3 sites, ~15% sticky) is injected into a small sort and
-//! the robust driver must come back with an output that the exact oracle
-//! (`verify_sorted_permutation`) confirms is the sorted permutation of
-//! the input. A further 16 plans carry a permanent fault and must come
-//! back as a *typed* `UnrecoverableFault` — or a verified success when
-//! the fault happened not to corrupt anything — never as silently wrong
-//! output.
+//! Two suites, selectable by argument (`chaos sweep`, `chaos service`;
+//! no argument runs both):
 //!
-//! Exit is nonzero on any undetected corruption (wrong output returned as
-//! success) or any unrecovered recoverable fault (recoverable sweep job
-//! returning an error). CI runs this as the `chaos` job; the artifact
-//! lands in `results/chaos.json` with per-job recovery counters.
+//! * **sweep** — the pinned-seed fault-injection campaign: for each of
+//!   64 pinned seeds × 2 pipelines, a deterministic [`FaultPlan`]
+//!   (3 sites, ~15% sticky) is injected into a small sort and the robust
+//!   driver must come back with an output that the exact oracle
+//!   (`verify_sorted_permutation`) confirms is the sorted permutation of
+//!   the input. A further 8 plans per pipeline carry a permanent fault
+//!   and must come back as a *typed* `UnrecoverableFault` — or a
+//!   verified success when the fault happened not to corrupt anything —
+//!   never as silently wrong output. Artifact: `results/chaos.json`
+//!   (compact per-job records).
+//!
+//! * **service** — pinned service-level scenarios exercising the
+//!   resilience stack end to end: a fault storm that trips a circuit
+//!   breaker and drains the retry budget, queue overflow under deadline
+//!   pressure with typed load shedding, kill-and-resume from a verified
+//!   checkpoint, and a straggler storm answered by hedged duplicates.
+//!   Artifact: `results/resilience.json`.
+//!
+//! Exit is nonzero on any violation: undetected corruption, an
+//! unrecovered recoverable fault, a shed job that executed anyway, a
+//! retry-budget underflow, breaker flapping beyond the pinned count, or
+//! a resume that re-executed verified passes. CI runs `sweep` as the
+//! `chaos` job and `service` as the `resilience` job.
 
 use cfmerge_bench::artifact::{self, RunArtifact, RunRecord};
 use cfmerge_bench::report::format_table;
 use cfmerge_core::inputs::InputSpec;
 use cfmerge_core::params::SortParams;
 use cfmerge_core::recovery::{aggregate_counters, pipeline_shape, RobustConfig, SortService};
+use cfmerge_core::resilience::{
+    AdmissionConfig, BreakerConfig, CheckpointPolicy, HedgeConfig, ResilienceConfig,
+    RetryBudgetConfig, ServiceCounters, ShedPolicy,
+};
 use cfmerge_core::sort::{SortAlgorithm, SortConfig, SortError};
 use cfmerge_core::verify::verify_sorted_permutation;
-use cfmerge_gpu_sim::fault::{FaultPlan, FaultSpec};
-use cfmerge_json::Json;
+use cfmerge_gpu_sim::fault::{FaultKind, FaultPlan, FaultSite, FaultSpec, Persistence};
+use cfmerge_json::{Json, ToJson};
 use std::process::ExitCode;
 
 /// Pinned sweep seed base — change it and the whole campaign changes, so
@@ -36,6 +52,35 @@ const RECOVERABLE_PLANS: u64 = 64;
 const PERMANENT_PLANS: u64 = 8;
 
 fn main() -> ExitCode {
+    let mode = std::env::args().nth(1);
+    let (run_sweep_suite, run_service_suite) = match mode.as_deref() {
+        None => (true, true),
+        Some("sweep") => (true, false),
+        Some("service") => (false, true),
+        Some(other) => {
+            eprintln!("usage: chaos [sweep|service]   (got `{other}`)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut ok = true;
+    if run_sweep_suite {
+        ok &= run_sweep();
+    }
+    if run_service_suite {
+        ok &= run_service();
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sweep suite (the `chaos` CI job)
+// ---------------------------------------------------------------------------
+
+fn run_sweep() -> bool {
     let params = SortParams::new(5, 32);
     let cfg = RobustConfig::new(SortConfig::with_params(params));
     // 4 full tiles plus a ragged tail: exercises sentinel padding under
@@ -78,7 +123,7 @@ fn main() -> ExitCode {
     );
 
     let outcomes = svc.run_all();
-    let mut artifact = RunArtifact::new("chaos", svc_device());
+    let mut art = RunArtifact::new("chaos", device());
     let mut violations: Vec<String> = Vec::new();
     let mut unrecoverable_typed = 0u64;
     for ((_, label, input, plan, permanent), outcome) in jobs.iter().zip(&outcomes) {
@@ -90,7 +135,7 @@ fn main() -> ExitCode {
                 if let Err(failure) = verify_sorted_permutation(input, &run.run.output) {
                     violations.push(format!("{label}: UNDETECTED CORRUPTION: {failure}"));
                 }
-                artifact.runs.push(RunRecord::from_robust_run(label, run));
+                art.runs.push(RunRecord::compact_from_robust_run(label, run));
             }
             Err(SortError::UnrecoverableFault { .. }) if *permanent => {
                 // Permanent faults are allowed exactly one escape hatch:
@@ -117,14 +162,15 @@ fn main() -> ExitCode {
     ];
     println!("\n{}", format_table(&["metric", "value"], &rows));
 
-    artifact.add_summary("jobs", Json::from(outcomes.len()));
-    artifact.add_summary("faults_injected", Json::from(totals.faults_injected));
-    artifact.add_summary("faults_detected", Json::from(totals.faults_detected));
-    artifact.add_summary("retries", Json::from(totals.retries));
-    artifact.add_summary("fallbacks", Json::from(totals.fallbacks));
-    artifact.add_summary("unrecoverable_typed", Json::from(unrecoverable_typed));
-    artifact.add_summary("violations", Json::from(violations.len()));
-    artifact::emit(&artifact);
+    art.add_summary("jobs", Json::from(outcomes.len()));
+    art.add_summary("faults_injected", Json::from(totals.faults_injected));
+    art.add_summary("faults_detected", Json::from(totals.faults_detected));
+    art.add_summary("retries", Json::from(totals.retries));
+    art.add_summary("fallbacks", Json::from(totals.fallbacks));
+    art.add_summary("unrecoverable_typed", Json::from(unrecoverable_typed));
+    art.add_summary("violations", Json::from(violations.len()));
+    art.add_summary("service", svc.counters().to_json());
+    artifact::emit(&art);
 
     if violations.is_empty() {
         println!(
@@ -132,17 +178,392 @@ fn main() -> ExitCode {
              success verified as the exact sorted permutation.",
             totals.faults_injected
         );
-        ExitCode::SUCCESS
+        true
     } else {
         for v in &violations {
             eprintln!("FAIL: {v}");
         }
-        ExitCode::FAILURE
+        false
     }
 }
 
-/// The sweep's device (the artifact wants it; the service owns the
+// ---------------------------------------------------------------------------
+// Service suite (the `resilience` CI job)
+// ---------------------------------------------------------------------------
+
+/// Sticky shared-bank corruption at block 0 of the block sort: defeats
+/// every same-pipeline retry, forcing the Thrust fallback — the breaker's
+/// definition of a config-health failure.
+fn sticky_poison() -> FaultPlan {
+    FaultPlan::from_sites(vec![FaultSite {
+        kernel: 0,
+        block: 0,
+        phase: 1,
+        kind: FaultKind::StuckBank { bank: 1, bit: 3 },
+        persistence: Persistence::Sticky,
+    }])
+}
+
+/// A transient latency spike on one block of the block sort: the block's
+/// result is correct but late — hedging's prey.
+fn straggler_plan(block: u32, cycles: u64) -> FaultPlan {
+    FaultPlan::from_sites(vec![FaultSite {
+        kernel: 0,
+        block,
+        phase: 1,
+        kind: FaultKind::LatencySpike { cycles },
+        persistence: Persistence::Transient,
+    }])
+}
+
+fn small_rcfg() -> RobustConfig {
+    RobustConfig::new(SortConfig::with_params(SortParams::new(5, 32)))
+}
+
+fn run_service() -> bool {
+    let mut violations: Vec<String> = Vec::new();
+    let mut art = RunArtifact::new("resilience", device());
+    let mut service_totals = ServiceCounters::default();
+
+    scenario_fault_storm(&mut violations, &mut art, &mut service_totals);
+    scenario_queue_overflow(&mut violations, &mut art, &mut service_totals);
+    scenario_kill_and_resume(&mut violations, &mut art, &mut service_totals);
+    scenario_straggler_storm(&mut violations, &mut art, &mut service_totals);
+
+    art.add_summary("service", service_totals.to_json());
+    art.add_summary("violations", Json::from(violations.len()));
+    artifact::emit(&art);
+
+    if violations.is_empty() {
+        println!(
+            "\nOK: every service job was verified-sorted, cleanly shed with a typed error, \
+             or resumed without re-executing verified passes."
+        );
+        true
+    } else {
+        for v in &violations {
+            eprintln!("FAIL: {v}");
+        }
+        false
+    }
+}
+
+/// Fault storm: three consecutive sticky-poisoned jobs trip the breaker
+/// (threshold 3) and drain the retry budget; the next clean job is
+/// quarantined onto E=17,u=256, and the one after probes the real config
+/// and closes the breaker. Budget tokens must never underflow and
+/// breaker opens are pinned at exactly one.
+fn scenario_fault_storm(
+    violations: &mut Vec<String>,
+    art: &mut RunArtifact,
+    totals: &mut ServiceCounters,
+) {
+    let params = SortParams::new(5, 32);
+    let n = 4 * params.tile() + 17;
+    let mut svc = SortService::with_resilience(
+        small_rcfg(),
+        ResilienceConfig {
+            // Cooldown = one launch overhead: the job right after the
+            // trip is still inside the window (the clock only moves when
+            // jobs run), the one after it probes.
+            breaker: BreakerConfig { enabled: true, failure_threshold: 3, cooldown_s: 3e-6 },
+            retry_budget: RetryBudgetConfig::bounded(6.0),
+            ..ResilienceConfig::default()
+        },
+    );
+    let mut inputs = Vec::new();
+    for i in 0..3u64 {
+        let seed = BASE_SEED ^ 0x5101 ^ (i << 8);
+        let input = InputSpec::UniformRandom { seed }.generate(n);
+        svc.submit_with_faults(
+            &format!("storm/poisoned-{i}"),
+            input.clone(),
+            SortAlgorithm::CfMerge,
+            sticky_poison(),
+            None,
+        );
+        inputs.push(input);
+    }
+    for (i, label) in ["storm/quarantined", "storm/probe"].iter().enumerate() {
+        let seed = BASE_SEED ^ 0x5201 ^ ((i as u64) << 8);
+        let input = InputSpec::UniformRandom { seed }.generate(n);
+        svc.submit(label, input.clone(), SortAlgorithm::CfMerge);
+        inputs.push(input);
+    }
+    let outcomes = svc.drain();
+    for (input, o) in inputs.iter().zip(&outcomes) {
+        match &o.result {
+            Ok(run) => {
+                if let Err(f) = verify_sorted_permutation(input, &run.run.output) {
+                    violations.push(format!("{}: UNDETECTED CORRUPTION: {f}", o.label));
+                }
+                art.runs.push(RunRecord::compact_from_robust_run(&o.label, run));
+            }
+            Err(e) => violations.push(format!("{}: storm job must be rescued, got: {e}", o.label)),
+        }
+    }
+    let sc = *svc.counters();
+    if sc.breaker_opens != 1 {
+        violations.push(format!("storm: breaker flapped: {} opens (pinned: 1)", sc.breaker_opens));
+    }
+    if sc.quarantined != 1 || sc.probes != 1 || sc.breaker_closes != 1 {
+        violations.push(format!(
+            "storm: expected 1 quarantine / 1 probe / 1 close, got {}/{}/{}",
+            sc.quarantined, sc.probes, sc.breaker_closes
+        ));
+    }
+    match svc.budget_tokens() {
+        Some(t) if t < 0.0 => violations.push(format!("storm: retry budget underflow: {t}")),
+        Some(_) => {}
+        None => violations.push("storm: budget should be bounded".into()),
+    }
+    if sc.budget_denied == 0 {
+        violations.push("storm: the drained budget never denied a grant".into());
+    }
+    println!(
+        "fault-storm: {} jobs, breaker opens={} closes={}, quarantined={}, probes={}, \
+         budget tokens left={:?}, denials={}",
+        outcomes.len(),
+        sc.breaker_opens,
+        sc.breaker_closes,
+        sc.quarantined,
+        sc.probes,
+        svc.budget_tokens(),
+        sc.budget_denied
+    );
+    art.add_summary("fault_storm", svc.counters().to_json());
+    totals.merge(&sc);
+}
+
+/// Queue overflow under deadline pressure: a bounded queue of 8 under
+/// the deadline-aware policy takes 24 mixed submissions. Every job must
+/// end verified-sorted, typed-shed (never executed), or typed-rejected.
+fn scenario_queue_overflow(
+    violations: &mut Vec<String>,
+    art: &mut RunArtifact,
+    totals: &mut ServiceCounters,
+) {
+    let params = SortParams::new(5, 32);
+    let n = 2 * params.tile();
+    let mut svc = SortService::with_resilience(
+        small_rcfg(),
+        ResilienceConfig {
+            admission: AdmissionConfig::bounded(8, ShedPolicy::DeadlineAware),
+            ..ResilienceConfig::default()
+        },
+    );
+    let mut inputs = Vec::new();
+    for i in 0..24u64 {
+        let seed = BASE_SEED ^ 0x0F10 ^ (i << 8);
+        let input = InputSpec::UniformRandom { seed }.generate(n);
+        // Every third job carries an impossible deadline — the shed
+        // policy's designated victims once the queue fills.
+        let deadline = if i % 3 == 2 { Some(1e-12) } else { None };
+        svc.submit_with_faults(
+            &format!("overflow/job-{i}"),
+            input.clone(),
+            SortAlgorithm::CfMerge,
+            FaultPlan::none(),
+            deadline,
+        );
+        inputs.push(input);
+    }
+    let outcomes = svc.drain();
+    let (mut ran, mut shed, mut rejected) = (0u64, 0u64, 0u64);
+    for (input, o) in inputs.iter().zip(&outcomes) {
+        match &o.result {
+            Ok(run) => {
+                ran += 1;
+                if let Err(f) = verify_sorted_permutation(input, &run.run.output) {
+                    violations.push(format!("{}: UNDETECTED CORRUPTION: {f}", o.label));
+                }
+            }
+            Err(SortError::Shed { .. }) => shed += 1,
+            Err(SortError::Overloaded { .. }) => rejected += 1,
+            Err(e) => violations.push(format!("{}: untyped overflow outcome: {e}", o.label)),
+        }
+    }
+    let sc = *svc.counters();
+    // Shed jobs never execute — not even partially.
+    if sc.executed != ran {
+        violations.push(format!("overflow: executed {} jobs but {} ran", sc.executed, ran));
+    }
+    if ran + shed + rejected != outcomes.len() as u64 {
+        violations.push("overflow: outcomes don't partition into ran/shed/rejected".into());
+    }
+    if shed == 0 || rejected == 0 {
+        violations.push(format!(
+            "overflow: deadline pressure should both shed ({shed}) and reject ({rejected})"
+        ));
+    }
+    println!(
+        "queue-overflow: {} submissions → {} ran, {} shed (deadline-aware), {} rejected",
+        outcomes.len(),
+        ran,
+        shed,
+        rejected
+    );
+    art.add_summary("queue_overflow", svc.counters().to_json());
+    totals.merge(&sc);
+}
+
+/// Kill-and-resume: a checkpointing job is killed after its first merge
+/// pass; the resume must produce byte-identical output at the identical
+/// modeled cost without re-executing the verified passes.
+fn scenario_kill_and_resume(
+    violations: &mut Vec<String>,
+    art: &mut RunArtifact,
+    totals: &mut ServiceCounters,
+) {
+    let params = SortParams::new(5, 32);
+    let n = 8 * params.tile() + 3;
+    let input = InputSpec::UniformRandom { seed: BASE_SEED ^ 0xCE50 }.generate(n);
+
+    let mut reference = SortService::new(small_rcfg());
+    reference.submit("resume/uninterrupted", input.clone(), SortAlgorithm::CfMerge);
+    let whole = match reference.drain().remove(0).result {
+        Ok(run) => run,
+        Err(e) => {
+            violations.push(format!("resume: clean reference run failed: {e}"));
+            return;
+        }
+    };
+
+    let mut svc = SortService::new(small_rcfg());
+    svc.submit_with_policy(
+        "resume/killed",
+        input.clone(),
+        SortAlgorithm::CfMerge,
+        FaultPlan::none(),
+        None,
+        CheckpointPolicy::kill_after(1),
+    );
+    let killed = svc.drain().remove(0);
+    let cp = match killed.result {
+        Err(SortError::Interrupted { after_pass: 1, checkpoint }) => *checkpoint,
+        other => {
+            violations.push(format!("resume: expected Interrupted after pass 1, got {other:?}"));
+            return;
+        }
+    };
+    svc.submit_resume("resume/resumed", cp, FaultPlan::none(), None);
+    let resumed = match svc.drain().remove(0).result {
+        Ok(run) => run,
+        Err(e) => {
+            violations.push(format!("resume: resumed job failed: {e}"));
+            return;
+        }
+    };
+    if resumed.run.output != whole.run.output {
+        violations.push("resume: output differs from the uninterrupted run".into());
+    }
+    if resumed.run.simulated_seconds != whole.run.simulated_seconds {
+        violations.push(format!(
+            "resume: modeled seconds diverged: {} vs {}",
+            resumed.run.simulated_seconds, whole.run.simulated_seconds
+        ));
+    }
+    // The resumed half must not contain the already-verified launches.
+    if resumed.run.kernels.iter().any(|k| k.name == "blocksort" || k.name == "merge-pass-0") {
+        violations.push("resume: re-executed a pass the checkpoint had already verified".into());
+    }
+    let sc = *svc.counters();
+    println!(
+        "kill-and-resume: byte-identical output, {} modeled s, resumed launches: {}",
+        resumed.run.simulated_seconds,
+        resumed.run.kernels.len()
+    );
+    art.runs.push(RunRecord::compact_from_robust_run("resume/resumed", &resumed));
+    art.add_summary("kill_and_resume", svc.counters().to_json());
+    totals.merge(&sc);
+}
+
+/// Straggler storm: every job has one block of the block sort delayed by
+/// a transient half-million-cycle spike. With hedging on, each straggler
+/// gets a priced duplicate that wins (the spike does not re-fire), so the
+/// hedged service finishes strictly faster than the unhedged one.
+fn scenario_straggler_storm(
+    violations: &mut Vec<String>,
+    art: &mut RunArtifact,
+    totals: &mut ServiceCounters,
+) {
+    let params = SortParams::new(5, 32);
+    let n = 8 * params.tile();
+    let jobs = 6u64;
+    let build = |hedge: HedgeConfig| {
+        let mut cfg = small_rcfg();
+        cfg.hedge = hedge;
+        let mut svc = SortService::new(cfg);
+        let mut inputs = Vec::new();
+        for i in 0..jobs {
+            let seed = BASE_SEED ^ 0x57A6 ^ (i << 8);
+            let input = InputSpec::UniformRandom { seed }.generate(n);
+            svc.submit_with_faults(
+                &format!("straggler/job-{i}"),
+                input.clone(),
+                SortAlgorithm::CfMerge,
+                straggler_plan((i % 8) as u32, 500_000),
+                None,
+            );
+            inputs.push(input);
+        }
+        (svc, inputs)
+    };
+
+    let (mut hedged_svc, inputs) = build(HedgeConfig::on());
+    let hedged = hedged_svc.drain();
+    let (mut plain_svc, _) = build(HedgeConfig::default());
+    let plain = plain_svc.drain();
+
+    for (input, o) in inputs.iter().zip(&hedged) {
+        match &o.result {
+            Ok(run) => {
+                if let Err(f) = verify_sorted_permutation(input, &run.run.output) {
+                    violations.push(format!("{}: UNDETECTED CORRUPTION: {f}", o.label));
+                }
+                art.runs.push(RunRecord::compact_from_robust_run(&o.label, run));
+            }
+            Err(e) => violations.push(format!("{}: straggler job failed: {e}", o.label)),
+        }
+    }
+    let counters = aggregate_counters(&hedged);
+    if counters.hedges_launched != jobs || counters.hedges_won != jobs {
+        violations.push(format!(
+            "straggler: expected {jobs} hedges launched and won, got {}/{}",
+            counters.hedges_launched, counters.hedges_won
+        ));
+    }
+    if hedged_svc.clock_s() >= plain_svc.clock_s() {
+        violations.push(format!(
+            "straggler: hedging did not pay: {} s hedged vs {} s unhedged",
+            hedged_svc.clock_s(),
+            plain_svc.clock_s()
+        ));
+    }
+    // Hedging must not change any output, only the modeled latency.
+    for (h, p) in hedged.iter().zip(&plain) {
+        if let (Ok(hr), Ok(pr)) = (&h.result, &p.result) {
+            if hr.run.output != pr.run.output {
+                violations.push(format!("{}: hedged output diverged from unhedged", h.label));
+            }
+        }
+    }
+    let sc = *hedged_svc.counters();
+    println!(
+        "straggler-storm: {} jobs, {} hedges launched, {} won, {:.3e} s hedged vs {:.3e} s \
+         unhedged",
+        jobs,
+        counters.hedges_launched,
+        counters.hedges_won,
+        hedged_svc.clock_s(),
+        plain_svc.clock_s()
+    );
+    art.add_summary("straggler_storm", hedged_svc.counters().to_json());
+    totals.merge(&sc);
+}
+
+/// The campaign device (the artifact wants it; the service owns the
 /// config, so reconstruct the default).
-fn svc_device() -> cfmerge_gpu_sim::device::Device {
+fn device() -> cfmerge_gpu_sim::device::Device {
     cfmerge_gpu_sim::device::Device::rtx2080ti()
 }

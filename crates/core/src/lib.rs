@@ -35,6 +35,7 @@ pub mod inputs;
 pub mod metrics;
 pub mod params;
 pub mod recovery;
+pub mod resilience;
 pub mod sort;
 pub mod verify;
 pub mod worst_case;

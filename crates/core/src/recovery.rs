@@ -29,6 +29,8 @@
 //! See `docs/ROBUSTNESS.md` for the full design.
 
 use crate::params::SortParams;
+use crate::resilience::checkpoint::{CheckpointPolicy, SortCheckpoint};
+use crate::resilience::hedge::{HedgeConfig, HedgeCounters};
 use crate::sort::blocksort::{blocksort_block_faulty, MergeStrategy};
 use crate::sort::error::{validate_sort_config, Degradation, SortError};
 use crate::sort::key::SortKey;
@@ -43,6 +45,11 @@ use cfmerge_json::{FromJson, Json, JsonError, ToJson};
 use cfmerge_mergepath::diagonal::merge_path_steps;
 use cfmerge_mergepath::partition::partition_merge;
 use rayon::prelude::*;
+
+// The batch service moved to `crate::resilience::service` when it grew
+// admission control, retry budgets, and circuit breakers; re-exported
+// here so existing `recovery::SortService` paths keep working.
+pub use crate::resilience::service::{aggregate_counters, JobId, JobOutcome, SortService};
 
 /// Configuration of the robust driver: the underlying sort configuration
 /// plus the recovery policy.
@@ -60,14 +67,24 @@ pub struct RobustConfig {
     /// retries are exhausted or the requested configuration cannot
     /// launch. With `false`, those cases are typed errors.
     pub allow_fallback: bool,
+    /// Straggler-hedging policy (disabled by default — fault-free runs
+    /// stay bit-identical either way, because a launch with no latency
+    /// spikes has no stragglers).
+    pub hedge: HedgeConfig,
 }
 
 impl RobustConfig {
     /// Default policy around a sort configuration: 2 retries, 1 µs base
-    /// backoff, fallback permitted.
+    /// backoff, fallback permitted, hedging off.
     #[must_use]
     pub fn new(base: SortConfig) -> Self {
-        Self { base, max_retries: 2, retry_backoff_s: 1e-6, allow_fallback: true }
+        Self {
+            base,
+            max_retries: 2,
+            retry_backoff_s: 1e-6,
+            allow_fallback: true,
+            hedge: HedgeConfig::default(),
+        }
     }
 }
 
@@ -89,6 +106,10 @@ pub struct RecoveryCounters {
     /// in service-level aggregates — a run that returns `Ok` recovered
     /// everything it detected).
     pub unrecovered: u64,
+    /// Hedged duplicate executions launched for straggling blocks.
+    pub hedges_launched: u64,
+    /// Hedges whose duplicate beat the straggler.
+    pub hedges_won: u64,
 }
 
 impl RecoveryCounters {
@@ -100,6 +121,8 @@ impl RecoveryCounters {
         self.retries += other.retries;
         self.fallbacks += other.fallbacks;
         self.unrecovered += other.unrecovered;
+        self.hedges_launched += other.hedges_launched;
+        self.hedges_won += other.hedges_won;
     }
 }
 
@@ -112,6 +135,8 @@ impl ToJson for RecoveryCounters {
             ("retries", Json::from(self.retries)),
             ("fallbacks", Json::from(self.fallbacks)),
             ("unrecovered", Json::from(self.unrecovered)),
+            ("hedges_launched", Json::from(self.hedges_launched)),
+            ("hedges_won", Json::from(self.hedges_won)),
         ])
     }
 }
@@ -125,6 +150,10 @@ impl FromJson for RecoveryCounters {
             retries: v.field("retries")?,
             fallbacks: v.field("fallbacks")?,
             unrecovered: v.field("unrecovered")?,
+            // The hedge counters postdate the original schema; absent in
+            // pre-resilience artifacts.
+            hedges_launched: v.field_opt("hedges_launched")?.unwrap_or(0),
+            hedges_won: v.field_opt("hedges_won")?.unwrap_or(0),
         })
     }
 }
@@ -177,8 +206,12 @@ pub struct RecoveryReport {
     pub backoff_seconds: f64,
     /// Modeled seconds spent re-executing failed blocks.
     pub retry_seconds: f64,
-    /// Modeled seconds of injected latency spikes.
+    /// Modeled seconds of injected latency spikes (after hedge wins
+    /// replaced straggler latencies).
     pub spike_seconds: f64,
+    /// What straggler hedging did (zeroed when hedging is disabled or
+    /// nothing straggled).
+    pub hedges: HedgeCounters,
 }
 
 impl RecoveryReport {
@@ -200,6 +233,7 @@ impl ToJson for RecoveryReport {
             ("backoff_seconds", Json::from(self.backoff_seconds)),
             ("retry_seconds", Json::from(self.retry_seconds)),
             ("spike_seconds", Json::from(self.spike_seconds)),
+            ("hedges", self.hedges.to_json()),
         ])
     }
 }
@@ -251,6 +285,15 @@ struct BlockExec {
     detections: Vec<DetectionRecord>,
     /// `Some` when the last permitted attempt still failed verification.
     failure: Option<VerifyFailure>,
+    /// Hedged duplicate executions launched for this block.
+    hedges: u32,
+    /// Hedges that beat the straggler (their latency was taken).
+    hedge_wins: u32,
+    /// Straggler spike cycles avoided by winning hedges.
+    hedge_cycles_saved: u64,
+    /// Merged profiles of every hedged duplicate (priced as an auxiliary
+    /// launch in `settle_kernel`).
+    hedge_profile: KernelProfile,
 }
 
 /// Execute-verify loop for one block: `attempt_fn` runs the kernel under
@@ -273,6 +316,10 @@ fn recover_block(
         injections: Vec::new(),
         detections: Vec::new(),
         failure: None,
+        hedges: 0,
+        hedge_wins: 0,
+        hedge_cycles_saved: 0,
+        hedge_profile: KernelProfile::new(),
     };
     for attempt in 0..=max_retries {
         let injector = plan.block_faults(kernel_idx, block_idx as u32, attempt, fallback);
@@ -330,6 +377,33 @@ struct RunStats {
     backoff_seconds: f64,
     retry_seconds: f64,
     spike_seconds: f64,
+    hedges: HedgeCounters,
+}
+
+/// Outcome of one hedged duplicate execution, applied to its straggler's
+/// [`BlockExec`] before the launch settles.
+///
+/// A winning hedge (verified output, fewer spike cycles than the
+/// straggler accumulated) replaces the block's latency contribution; the
+/// output bytes need no replacing, because a verified duplicate *is* the
+/// unique sorted permutation the straggler already produced. A losing or
+/// corrupted hedge is discarded — its injections are still recorded, but
+/// a failed duplicate is not a detection against the primary result.
+fn apply_hedge(
+    ex: &mut BlockExec,
+    profile: KernelProfile,
+    injector: BlockFaults,
+    verdict: Result<(), VerifyFailure>,
+) {
+    let hedge_spikes = injector.spike_cycles();
+    ex.hedges += 1;
+    ex.hedge_profile.merge(&profile);
+    ex.injections.extend(injector.into_records());
+    if verdict.is_ok() && hedge_spikes < ex.spike_cycles {
+        ex.hedge_wins += 1;
+        ex.hedge_cycles_saved += ex.spike_cycles - hedge_spikes;
+        ex.spike_cycles = hedge_spikes;
+    }
 }
 
 /// Fold one kernel's per-block outcomes into the stats, price the launch
@@ -354,6 +428,8 @@ fn settle_kernel(
     let mut spike_cycles = 0u64;
     let mut backoff = 0.0f64;
     let mut failure: Option<BlockFailure> = None;
+    let mut hedge_profile = KernelProfile::new();
+    let mut hedged_execs = 0u64;
     for (block, mut ex) in execs.into_iter().enumerate() {
         profile.merge(&ex.profile);
         retry_profile.merge(&ex.retry_profile);
@@ -361,6 +437,13 @@ fn settle_kernel(
         stats.counters.faults_detected += ex.detections.len() as u64;
         stats.injections.append(&mut ex.injections);
         stats.detections.append(&mut ex.detections);
+        hedge_profile.merge(&ex.hedge_profile);
+        hedged_execs += u64::from(ex.hedges);
+        stats.counters.hedges_launched += u64::from(ex.hedges);
+        stats.counters.hedges_won += u64::from(ex.hedge_wins);
+        stats.hedges.launched += u64::from(ex.hedges);
+        stats.hedges.won += u64::from(ex.hedge_wins);
+        stats.hedges.cycles_saved += ex.hedge_cycles_saved;
         if ex.executions > 1 {
             let retries = u64::from(ex.executions - 1);
             stats.counters.blocks_retried += 1;
@@ -395,6 +478,16 @@ fn settle_kernel(
         extra += rt.seconds;
         stats.retry_seconds += rt.seconds;
     }
+    if hedged_execs > 0 {
+        // Hedged duplicates are enqueued device-side while the primary
+        // launch drains — priced in full minus the host launch overhead.
+        let ht = cfg
+            .timing
+            .auxiliary_launch_time(&cfg.device, &hedge_profile.total(), &cfg.launch(hedged_execs))
+            .map_err(unlaunchable)?;
+        extra += ht.seconds;
+        stats.hedges.hedge_seconds += ht.seconds;
+    }
     let spike_s = spike_cycles as f64 / cfg.device.clock_hz;
     extra += spike_s;
     stats.spike_seconds += spike_s;
@@ -403,9 +496,25 @@ fn settle_kernel(
     Ok((KernelReport { name: name.to_string(), blocks, profile, time }, extra, failure))
 }
 
+/// Checkpoint control threaded through one pipeline execution: the
+/// policy plus the checkpoints captured along the way.
+struct CkptCtl {
+    policy: CheckpointPolicy,
+    taken: Vec<SortCheckpoint>,
+}
+
+impl CkptCtl {
+    fn noop() -> Self {
+        Self { policy: CheckpointPolicy::default(), taken: Vec::new() }
+    }
+}
+
 /// One pipeline execution under the plan. `Ok(Err(_))` is a block that
 /// stayed failed after retries (the fallback trigger); outer `Err` is a
-/// configuration-level error.
+/// configuration-level error (or a simulated kill, when `ckpt` asks for
+/// one). With `resume`, the block sort and completed merge passes are
+/// skipped and execution continues from the checkpoint's verified state
+/// (the caller has already validated it).
 #[allow(clippy::too_many_arguments)]
 fn run_pipeline<K: SortKey>(
     input: &[K],
@@ -415,12 +524,14 @@ fn run_pipeline<K: SortKey>(
     plan: &FaultPlan,
     fallback: bool,
     stats: &mut RunStats,
+    resume: Option<&SortCheckpoint>,
+    ckpt: &mut CkptCtl,
 ) -> Result<Result<SortRun<K>, BlockFailure>, SortError> {
     let banks = cfg.device.bank_model();
     let strategy = strategy_of(algo);
     let (e, u) = (cfg.params.e, cfg.params.u);
     let tile = u * e;
-    let n = input.len();
+    let n = if let Some(cp) = resume { cp.n } else { input.len() };
     if n == 0 {
         return Ok(Ok(SortRun {
             output: Vec::new(),
@@ -430,20 +541,42 @@ fn run_pipeline<K: SortKey>(
             n: 0,
         }));
     }
-    let input_checksum = multiset_checksum(input);
-
-    let runs = n.div_ceil(tile).next_power_of_two();
-    let n_pad = runs * tile;
-    let mut src = input.to_vec();
-    src.resize(n_pad, K::MAX_SENTINEL);
-    let mut dst = vec![K::default(); n_pad];
+    let track = !ckpt.policy.is_noop();
 
     let mut kernels: Vec<KernelReport> = Vec::new();
-    let mut seconds = 0.0f64;
+    let (
+        n_pad,
+        mut src,
+        mut dst,
+        input_checksum,
+        padded_checksum,
+        mut width,
+        mut pass,
+        mut seconds,
+    );
+    if let Some(cp) = resume {
+        n_pad = cp.n_pad;
+        src = cp.state_keys::<K>();
+        dst = vec![K::default(); n_pad];
+        input_checksum = cp.unpadded_input_checksum::<K>();
+        padded_checksum = cp.input_checksum;
+        width = cp.width;
+        pass = cp.completed_passes;
+        seconds = cp.seconds_so_far;
+    } else {
+        input_checksum = multiset_checksum(input);
+        let runs = n.div_ceil(tile).next_power_of_two();
+        n_pad = runs * tile;
+        src = input.to_vec();
+        src.resize(n_pad, K::MAX_SENTINEL);
+        padded_checksum = if track { multiset_checksum(&src) } else { 0 };
+        dst = vec![K::default(); n_pad];
+        width = tile;
+        pass = 0;
+        seconds = 0.0;
 
-    // ---- Block sort (launch 0) ----
-    {
-        let execs: Vec<BlockExec> = src
+        // ---- Block sort (launch 0) ----
+        let mut execs: Vec<BlockExec> = src
             .par_chunks(tile)
             .zip(dst.par_chunks_mut(tile))
             .enumerate()
@@ -467,6 +600,32 @@ fn run_pipeline<K: SortKey>(
                 })
             })
             .collect();
+        // ---- Straggler hedging over the block-sort launch ----
+        let latencies: Vec<u64> = execs.iter().map(|ex| ex.spike_cycles).collect();
+        for i in rcfg.hedge.stragglers(&latencies) {
+            if execs[i].failure.is_some() {
+                continue; // about to trigger fallback; duplicating it is pointless
+            }
+            let s = &src[i * tile..(i + 1) * tile];
+            let mut scratch = vec![K::default(); tile];
+            let expect = multiset_checksum(s);
+            let inj = plan.block_faults(0, i as u32, execs[i].executions, fallback);
+            let (profile, NullTracer, NoCheck, inj) = blocksort_block_faulty(
+                banks,
+                u,
+                e,
+                strategy,
+                s,
+                &mut scratch,
+                i * tile,
+                cfg.count_accesses,
+                NullTracer,
+                NoCheck,
+                inj,
+            );
+            let verdict = verify_sorted_checksum(&scratch, expect);
+            apply_hedge(&mut execs[i], profile, inj, verdict);
+        }
         let (report, extra, failed) =
             settle_kernel(cfg, rcfg, "blocksort", runs as u64, KernelProfile::new(), execs, stats)?;
         seconds += report.time.seconds + extra;
@@ -475,11 +634,27 @@ fn run_pipeline<K: SortKey>(
             return Ok(Err(f));
         }
         std::mem::swap(&mut src, &mut dst);
+
+        if track && (ckpt.policy.every_pass || ckpt.policy.kill_after_pass == Some(0)) {
+            let cp = SortCheckpoint::capture(
+                algo.label(),
+                (e, u),
+                n,
+                tile,
+                0,
+                seconds,
+                stats.counters,
+                padded_checksum,
+                &src,
+            );
+            if ckpt.policy.kill_after_pass == Some(0) {
+                return Err(SortError::Interrupted { after_pass: 0, checkpoint: Box::new(cp) });
+            }
+            ckpt.taken.push(cp);
+        }
     }
 
     // ---- Merge passes (launches 1..) ----
-    let mut width = tile;
-    let mut pass = 0usize;
     while width < n_pad {
         let pair = 2 * width;
         let kernel_idx = 1 + pass as u32;
@@ -506,7 +681,7 @@ fn run_pipeline<K: SortKey>(
                 s.alu_ops += blocks_in_pair * steps * 6;
             }
         }
-        let execs: Vec<BlockExec> = jobs
+        let mut execs: Vec<BlockExec> = jobs
             .par_iter()
             .zip(dst.par_chunks_mut(tile))
             .enumerate()
@@ -533,6 +708,33 @@ fn run_pipeline<K: SortKey>(
                 })
             })
             .collect();
+        // ---- Straggler hedging over this merge launch ----
+        let latencies: Vec<u64> = execs.iter().map(|ex| ex.spike_cycles).collect();
+        for bi in rcfg.hedge.stragglers(&latencies) {
+            if execs[bi].failure.is_some() {
+                continue;
+            }
+            let job = jobs[bi];
+            let mut scratch = vec![K::default(); tile];
+            let expect = multiset_checksum(&src[job.a_begin..job.a_end])
+                .wrapping_add(multiset_checksum(&src[job.b_begin..job.b_end]));
+            let inj = plan.block_faults(kernel_idx, bi as u32, execs[bi].executions, fallback);
+            let (profile, NullTracer, NoCheck, inj) = merge_pass_block_faulty(
+                banks,
+                u,
+                e,
+                strategy,
+                &src,
+                job,
+                &mut scratch,
+                cfg.count_accesses,
+                NullTracer,
+                NoCheck,
+                inj,
+            );
+            let verdict = verify_sorted_checksum(&scratch, expect);
+            apply_hedge(&mut execs[bi], profile, inj, verdict);
+        }
         let blocks = jobs.len() as u64;
         let (report, extra, failed) =
             settle_kernel(cfg, rcfg, &name, blocks, search_cost, execs, stats)?;
@@ -544,6 +746,24 @@ fn run_pipeline<K: SortKey>(
         std::mem::swap(&mut src, &mut dst);
         width = pair;
         pass += 1;
+
+        if track && (ckpt.policy.every_pass || ckpt.policy.kill_after_pass == Some(pass)) {
+            let cp = SortCheckpoint::capture(
+                algo.label(),
+                (e, u),
+                n,
+                width,
+                pass,
+                seconds,
+                stats.counters,
+                padded_checksum,
+                &src,
+            );
+            if ckpt.policy.kill_after_pass == Some(pass) {
+                return Err(SortError::Interrupted { after_pass: pass, checkpoint: Box::new(cp) });
+            }
+            ckpt.taken.push(cp);
+        }
     }
 
     src.truncate(n);
@@ -595,6 +815,39 @@ pub fn simulate_sort_robust<K: SortKey>(
     config: &RobustConfig,
     plan: &FaultPlan,
 ) -> Result<RobustSortRun<K>, SortError> {
+    simulate_sort_robust_inner(input, algo, config, plan, &mut CkptCtl::noop())
+}
+
+/// [`simulate_sort_robust`] with checkpoint capture: returns the run
+/// plus the checkpoints taken under `policy`. A
+/// [`CheckpointPolicy::kill_after`] policy instead interrupts the run
+/// with [`SortError::Interrupted`] carrying the checkpoint — the modeled
+/// equivalent of killing the process mid-sort. If the primary pipeline
+/// degrades to the fallback, checkpoints restart with the fallback run
+/// (the primary's partial state is junk once abandoned).
+///
+/// # Errors
+/// Same contract as [`simulate_sort_robust`], plus
+/// [`SortError::Interrupted`] when the policy kills the run.
+pub fn simulate_sort_robust_checkpointed<K: SortKey>(
+    input: &[K],
+    algo: SortAlgorithm,
+    config: &RobustConfig,
+    plan: &FaultPlan,
+    policy: CheckpointPolicy,
+) -> Result<(RobustSortRun<K>, Vec<SortCheckpoint>), SortError> {
+    let mut ctl = CkptCtl { policy, taken: Vec::new() };
+    let run = simulate_sort_robust_inner(input, algo, config, plan, &mut ctl)?;
+    Ok((run, ctl.taken))
+}
+
+fn simulate_sort_robust_inner<K: SortKey>(
+    input: &[K],
+    algo: SortAlgorithm,
+    config: &RobustConfig,
+    plan: &FaultPlan,
+    ckpt: &mut CkptCtl,
+) -> Result<RobustSortRun<K>, SortError> {
     let mut stats = RunStats::default();
     let mut degradations: Vec<Degradation> = Vec::new();
     let mut cfg = config.base.clone();
@@ -621,7 +874,7 @@ pub fn simulate_sort_robust<K: SortKey>(
         Err(e) => return Err(e),
     }
 
-    let first = run_pipeline(input, algo_used, &cfg, config, plan, false, &mut stats)?;
+    let first = run_pipeline(input, algo_used, &cfg, config, plan, false, &mut stats, None, ckpt)?;
     let run = match first {
         Ok(run) => run,
         Err(block_failure) if config.allow_fallback => {
@@ -635,7 +888,9 @@ pub fn simulate_sort_robust<K: SortKey>(
             });
             stats.counters.fallbacks += 1;
             algo_used = SortAlgorithm::ThrustMergesort;
-            match run_pipeline(input, algo_used, &cfg, config, plan, true, &mut stats)? {
+            ckpt.taken.clear(); // primary checkpoints are void once abandoned
+            match run_pipeline(input, algo_used, &cfg, config, plan, true, &mut stats, None, ckpt)?
+            {
                 Ok(run) => run,
                 Err(f) => return Err(f.into_error()),
             }
@@ -654,165 +909,135 @@ pub fn simulate_sort_robust<K: SortKey>(
             backoff_seconds: stats.backoff_seconds,
             retry_seconds: stats.retry_seconds,
             spike_seconds: stats.spike_seconds,
+            hedges: stats.hedges,
         },
     })
 }
 
-// ---------------------------------------------------------------------------
-// Batch sort service
-// ---------------------------------------------------------------------------
-
-/// Handle to a job submitted to a [`SortService`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct JobId(u64);
-
-impl std::fmt::Display for JobId {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "job-{}", self.0)
-    }
-}
-
-struct Job {
-    id: JobId,
-    label: String,
-    input: Vec<u32>,
-    algo: SortAlgorithm,
-    plan: FaultPlan,
-    deadline_s: Option<f64>,
-    cancelled: bool,
-}
-
-/// How one service job ended.
-#[derive(Debug)]
-pub struct JobOutcome {
-    /// The job's handle.
-    pub id: JobId,
-    /// The label it was submitted under.
-    pub label: String,
-    /// The verified run — or the typed reason there isn't one.
-    pub result: Result<RobustSortRun<u32>, SortError>,
-}
-
-impl JobOutcome {
-    /// The job's recovery counters; for failed jobs, a zeroed set with
-    /// `unrecovered = 1` when the failure was an unrecoverable fault.
-    #[must_use]
-    pub fn counters(&self) -> RecoveryCounters {
-        match &self.result {
-            Ok(run) => run.report.counters,
-            Err(SortError::UnrecoverableFault { .. }) => {
-                RecoveryCounters { unrecovered: 1, ..RecoveryCounters::default() }
-            }
-            Err(_) => RecoveryCounters::default(),
-        }
-    }
-}
-
-/// Sum the counters of a batch of outcomes (the artifact-level "N
-/// injected / N detected / N recovered" statement).
-#[must_use]
-pub fn aggregate_counters(outcomes: &[JobOutcome]) -> RecoveryCounters {
-    let mut total = RecoveryCounters::default();
-    for o in outcomes {
-        total.merge(&o.counters());
-    }
-    total
-}
-
-/// Degradation-aware batch front-end over [`simulate_sort_robust`]:
-/// submit jobs (optionally with fault plans and deadlines), cancel any of
-/// them, then [`SortService::run_all`] executes the batch concurrently
-/// and returns per-job typed outcomes.
-pub struct SortService {
-    config: RobustConfig,
-    jobs: Vec<Job>,
-    next_id: u64,
-}
-
-impl SortService {
-    /// A service running every job under `config`.
-    #[must_use]
-    pub fn new(config: RobustConfig) -> Self {
-        Self { config, jobs: Vec::new(), next_id: 0 }
-    }
-
-    /// Submit a production job (no fault injection, no deadline).
-    pub fn submit(&mut self, label: &str, input: Vec<u32>, algo: SortAlgorithm) -> JobId {
-        self.submit_with_faults(label, input, algo, FaultPlan::none(), None)
-    }
-
-    /// Submit a job with a fault plan and an optional deadline in modeled
-    /// seconds. A job whose modeled completion time (retries, backoff,
-    /// and spikes included) exceeds the deadline fails with
-    /// [`SortError::DeadlineExceeded`].
-    pub fn submit_with_faults(
-        &mut self,
-        label: &str,
-        input: Vec<u32>,
-        algo: SortAlgorithm,
-        plan: FaultPlan,
-        deadline_s: Option<f64>,
-    ) -> JobId {
-        let id = JobId(self.next_id);
-        self.next_id += 1;
-        self.jobs.push(Job {
-            id,
-            label: label.to_string(),
-            input,
-            algo,
-            plan,
-            deadline_s,
-            cancelled: false,
+/// Resume a sort from a [`SortCheckpoint`], skipping the block sort and
+/// every completed merge pass.
+///
+/// The checkpoint is validated first — version, structural shape, every
+/// run sorted, every block checksum matching
+/// ([`SortCheckpoint::validate_as`]) — so work is only skipped when the
+/// saved state is provably the verified state the original run produced.
+/// The resumed run's `simulated_seconds` includes the checkpoint's
+/// `seconds_so_far`, and with the same fault plan the final output is
+/// byte-identical to the uninterrupted run; on a fault-free plan the
+/// total modeled seconds and recovery counters are byte-identical too.
+/// (With live faults exact cost equality is not guaranteed: a
+/// corruption that stale scratch data masked in the original run is
+/// detected against the resume's fresh scratch buffers and priced as an
+/// extra retry, and a fallback restart discards the abandoned
+/// pipeline's partial seconds while a resume keeps the checkpoint's
+/// committed seconds.) Kernel reports cover only the re-executed
+/// remainder. The checkpoint's counters are folded into the returned
+/// report.
+///
+/// If a resumed block exhausts its retries and fallback is allowed, the
+/// driver re-sorts the checkpoint state on the Thrust pipeline (the
+/// state is a permutation of the padded input, so sorting it yields the
+/// same output).
+///
+/// # Errors
+/// [`SortError::CheckpointInvalid`] when validation fails, otherwise the
+/// [`simulate_sort_robust`] contract.
+pub fn resume_sort_robust<K: SortKey>(
+    checkpoint: &SortCheckpoint,
+    config: &RobustConfig,
+    plan: &FaultPlan,
+) -> Result<RobustSortRun<K>, SortError> {
+    checkpoint.validate_as::<K>()?;
+    let algo = if checkpoint.algorithm == SortAlgorithm::CfMerge.label() {
+        SortAlgorithm::CfMerge
+    } else if checkpoint.algorithm == SortAlgorithm::ThrustMergesort.label() {
+        SortAlgorithm::ThrustMergesort
+    } else {
+        return Err(SortError::CheckpointInvalid {
+            reason: format!("unknown algorithm {:?}", checkpoint.algorithm),
         });
-        id
+    };
+    let cfg = &config.base;
+    if (cfg.params.e, cfg.params.u) != (checkpoint.e, checkpoint.u) {
+        return Err(SortError::CheckpointInvalid {
+            reason: format!(
+                "checkpoint captured at (E={}, u={}) cannot resume under (E={}, u={})",
+                checkpoint.e, checkpoint.u, cfg.params.e, cfg.params.u
+            ),
+        });
     }
+    validate_sort_config(cfg)?;
 
-    /// Cancel a pending job. Returns `false` if the id is unknown (or the
-    /// batch containing it already ran).
-    pub fn cancel(&mut self, id: JobId) -> bool {
-        match self.jobs.iter_mut().find(|j| j.id == id) {
-            Some(job) => {
-                job.cancelled = true;
-                true
+    let mut stats = RunStats::default();
+    let mut degradations: Vec<Degradation> = Vec::new();
+    let mut algo_used = algo;
+    let first = run_pipeline::<K>(
+        &[],
+        algo,
+        cfg,
+        config,
+        plan,
+        false,
+        &mut stats,
+        Some(checkpoint),
+        &mut CkptCtl::noop(),
+    )?;
+    let run = match first {
+        Ok(run) => run,
+        Err(block_failure) if config.allow_fallback => {
+            degradations.push(Degradation::Fallback {
+                from: algo_used,
+                to: SortAlgorithm::ThrustMergesort,
+                reason: format!(
+                    "resumed {} block {} failed verification after {} attempts",
+                    block_failure.kernel, block_failure.block, block_failure.attempts
+                ),
+            });
+            stats.counters.fallbacks += 1;
+            algo_used = SortAlgorithm::ThrustMergesort;
+            // Restart from the checkpoint state as input: a permutation
+            // of the padded input, so its sort is the same output (the
+            // sentinels sort to the tail and are truncated off).
+            let keys = checkpoint.state_keys::<K>();
+            match run_pipeline(
+                &keys,
+                algo_used,
+                cfg,
+                config,
+                plan,
+                true,
+                &mut stats,
+                None,
+                &mut CkptCtl::noop(),
+            )? {
+                Ok(mut run) => {
+                    run.output.truncate(checkpoint.n);
+                    run.n = checkpoint.n;
+                    run.simulated_seconds += checkpoint.seconds_so_far;
+                    run
+                }
+                Err(f) => return Err(f.into_error()),
             }
-            None => false,
         }
-    }
+        Err(block_failure) => return Err(block_failure.into_error()),
+    };
 
-    /// Number of jobs waiting in the current batch (cancelled included —
-    /// they still produce an outcome).
-    #[must_use]
-    pub fn pending(&self) -> usize {
-        self.jobs.len()
-    }
-
-    /// Run every submitted job concurrently and drain the batch. Outcomes
-    /// come back in submission order; cancelled jobs yield
-    /// [`SortError::Cancelled`] without running.
-    pub fn run_all(&mut self) -> Vec<JobOutcome> {
-        let jobs = std::mem::take(&mut self.jobs);
-        let config = &self.config;
-        jobs.into_par_iter()
-            .map(|job| {
-                let result = if job.cancelled {
-                    Err(SortError::Cancelled)
-                } else {
-                    simulate_sort_robust(&job.input, job.algo, config, &job.plan).and_then(|run| {
-                        match job.deadline_s {
-                            Some(d) if run.run.simulated_seconds > d => {
-                                Err(SortError::DeadlineExceeded {
-                                    deadline_s: d,
-                                    needed_s: run.run.simulated_seconds,
-                                })
-                            }
-                            _ => Ok(run),
-                        }
-                    })
-                };
-                JobOutcome { id: job.id, label: job.label, result }
-            })
-            .collect()
-    }
+    let mut counters = checkpoint.counters;
+    counters.merge(&stats.counters);
+    Ok(RobustSortRun {
+        run,
+        algorithm: algo_used,
+        report: RecoveryReport {
+            counters,
+            injections: stats.injections,
+            detections: stats.detections,
+            degradations,
+            backoff_seconds: stats.backoff_seconds,
+            retry_seconds: stats.retry_seconds,
+            spike_seconds: stats.spike_seconds,
+            hedges: stats.hedges,
+        },
+    })
 }
 
 #[cfg(test)]
@@ -1008,55 +1233,167 @@ mod tests {
     }
 
     #[test]
-    fn service_runs_cancels_and_enforces_deadlines() {
-        let mut svc = SortService::new(small_rcfg());
-        let input = InputSpec::UniformRandom { seed: 18 }.generate(2 * 160);
-        let ok_id = svc.submit("ok", input.clone(), SortAlgorithm::CfMerge);
-        let cancel_id = svc.submit("cancel-me", input.clone(), SortAlgorithm::CfMerge);
-        let tight_id = svc.submit_with_faults(
-            "tight",
-            input.clone(),
-            SortAlgorithm::CfMerge,
-            FaultPlan::none(),
-            Some(1e-12),
-        );
-        let faulty_id = svc.submit_with_faults(
-            "faulty",
-            input.clone(),
-            SortAlgorithm::CfMerge,
-            FaultPlan::from_sites(vec![site(
-                0,
-                0,
-                FaultKind::StuckBank { bank: 0, bit: 0 },
-                Persistence::Transient,
-            )]),
-            Some(1.0),
-        );
-        assert!(svc.cancel(cancel_id));
-        assert!(!svc.cancel(JobId(999)));
-        assert_eq!(svc.pending(), 4);
+    fn hedging_cuts_straggler_latency_and_is_priced() {
+        let mut rcfg = small_rcfg();
+        rcfg.hedge = HedgeConfig::on();
+        let input = InputSpec::UniformRandom { seed: 31 }.generate(8 * 160);
+        // One block of the block-sort launch stalls for half a million
+        // cycles; the other seven are clean, so it is a clear p95 outlier.
+        let plan = FaultPlan::from_sites(vec![site(
+            0,
+            3,
+            FaultKind::LatencySpike { cycles: 500_000 },
+            Persistence::Transient,
+        )]);
+        let hedged =
+            simulate_sort_robust(&input, SortAlgorithm::CfMerge, &rcfg, &plan).expect("hedged run");
+        verify_sorted_permutation(&input, &hedged.run.output).expect("output exactly sorted");
+        assert_eq!(hedged.report.hedges.launched, 1);
+        // The spike is transient: it does not re-fire on the duplicate
+        // (attempt 1), so the hedge wins and the spike cost vanishes.
+        assert_eq!(hedged.report.hedges.won, 1);
+        assert_eq!(hedged.report.hedges.cycles_saved, 500_000);
+        assert!(hedged.report.hedges.hedge_seconds > 0.0);
+        assert_eq!(hedged.report.counters.hedges_launched, 1);
+        assert_eq!(hedged.report.counters.hedges_won, 1);
+        assert_eq!(hedged.report.spike_seconds, 0.0);
 
-        let outcomes = svc.run_all();
-        assert_eq!(svc.pending(), 0);
-        assert_eq!(outcomes.len(), 4);
-        assert_eq!(outcomes[0].id, ok_id);
-        let ok_run = outcomes[0].result.as_ref().expect("ok job");
-        let mut expect = input.clone();
-        expect.sort_unstable();
-        assert_eq!(ok_run.run.output, expect);
-        assert_eq!(outcomes[1].id, cancel_id);
-        assert!(matches!(outcomes[1].result, Err(SortError::Cancelled)));
-        assert_eq!(outcomes[2].id, tight_id);
-        assert!(matches!(outcomes[2].result, Err(SortError::DeadlineExceeded { .. })));
-        assert_eq!(outcomes[3].id, faulty_id);
-        let faulty_run = outcomes[3].result.as_ref().expect("faulty job recovers");
-        assert_eq!(faulty_run.run.output, expect);
+        let mut unhedged_cfg = small_rcfg();
+        unhedged_cfg.hedge = HedgeConfig::default();
+        let unhedged = simulate_sort_robust(&input, SortAlgorithm::CfMerge, &unhedged_cfg, &plan)
+            .expect("unhedged run");
+        assert_eq!(unhedged.run.output, hedged.run.output);
+        assert!(
+            hedged.run.simulated_seconds < unhedged.run.simulated_seconds,
+            "winning hedge must beat eating the spike: {} vs {}",
+            hedged.run.simulated_seconds,
+            unhedged.run.simulated_seconds
+        );
+    }
 
-        let total = aggregate_counters(&outcomes);
-        assert!(total.faults_injected >= 1);
-        assert_eq!(total.faults_detected, 1);
-        assert_eq!(total.retries, 1);
-        assert_eq!(total.unrecovered, 0);
+    #[test]
+    fn hedging_is_bit_identical_on_fault_free_runs() {
+        let mut rcfg = small_rcfg();
+        rcfg.hedge = HedgeConfig::on();
+        let input = InputSpec::UniformRandom { seed: 32 }.generate(4 * 160 + 9);
+        let plain = simulate_sort(&input, SortAlgorithm::CfMerge, &rcfg.base);
+        let r = simulate_sort_robust(&input, SortAlgorithm::CfMerge, &rcfg, &FaultPlan::none())
+            .expect("clean run");
+        assert_eq!(r.run.output, plain.output);
+        assert_eq!(r.run.simulated_seconds, plain.simulated_seconds);
+        assert_eq!(r.report.hedges, HedgeCounters::default());
+    }
+
+    #[test]
+    fn sticky_spike_hedge_loses_and_costs_time() {
+        let mut rcfg = small_rcfg();
+        rcfg.hedge = HedgeConfig::on();
+        let input = InputSpec::UniformRandom { seed: 33 }.generate(8 * 160);
+        // A sticky spike re-fires on the hedged duplicate too: the hedge
+        // loses and the straggler's latency stands.
+        let plan = FaultPlan::from_sites(vec![site(
+            0,
+            5,
+            FaultKind::LatencySpike { cycles: 500_000 },
+            Persistence::Sticky,
+        )]);
+        let r = simulate_sort_robust(&input, SortAlgorithm::CfMerge, &rcfg, &plan).expect("ok");
+        assert_eq!(r.report.hedges.launched, 1);
+        assert_eq!(r.report.hedges.won, 0);
+        assert!(r.report.spike_seconds > 0.0, "losing hedge leaves the spike in place");
+    }
+
+    #[test]
+    fn checkpoints_capture_every_pass() {
+        let rcfg = small_rcfg();
+        let input = InputSpec::UniformRandom { seed: 34 }.generate(4 * 160 + 17);
+        let (run, checkpoints) = simulate_sort_robust_checkpointed(
+            &input,
+            SortAlgorithm::CfMerge,
+            &rcfg,
+            &FaultPlan::none(),
+            CheckpointPolicy::every_pass(),
+        )
+        .expect("checkpointed run");
+        // One capture point per launch: blocksort plus every merge pass.
+        let launches = pipeline_shape(input.len(), &rcfg.base.params).len();
+        assert_eq!(checkpoints.len(), launches);
+        for (i, cp) in checkpoints.iter().enumerate() {
+            assert_eq!(cp.completed_passes, i);
+            cp.validate_as::<u32>().expect("every captured checkpoint validates");
+        }
+        // Capture must not perturb the run itself.
+        let plain = simulate_sort_robust(&input, SortAlgorithm::CfMerge, &rcfg, &FaultPlan::none())
+            .expect("plain robust run");
+        assert_eq!(run.run.output, plain.run.output);
+        assert_eq!(run.run.simulated_seconds, plain.run.simulated_seconds);
+    }
+
+    #[test]
+    fn kill_and_resume_is_byte_identical_without_redoing_passes() {
+        let rcfg = small_rcfg();
+        let input = InputSpec::UniformRandom { seed: 35 }.generate(8 * 160 + 3);
+        // A transient fault in a *late* merge pass: it must still fire
+        // (and be recovered) in the resumed half of the run.
+        let plan = FaultPlan::from_sites(vec![site(
+            3,
+            1,
+            FaultKind::StuckBank { bank: 2, bit: 5 },
+            Persistence::Transient,
+        )]);
+        let whole = simulate_sort_robust(&input, SortAlgorithm::CfMerge, &rcfg, &plan)
+            .expect("uninterrupted run");
+
+        let killed = simulate_sort_robust_checkpointed(
+            &input,
+            SortAlgorithm::CfMerge,
+            &rcfg,
+            &plan,
+            CheckpointPolicy::kill_after(1),
+        );
+        let cp = match killed {
+            Err(SortError::Interrupted { after_pass: 1, checkpoint }) => *checkpoint,
+            other => panic!("expected Interrupted after pass 1, got {other:?}"),
+        };
+        let resumed = resume_sort_robust::<u32>(&cp, &rcfg, &plan).expect("resume");
+        assert_eq!(resumed.run.output, whole.run.output, "byte-identical output");
+        assert_eq!(
+            resumed.run.simulated_seconds, whole.run.simulated_seconds,
+            "modeled seconds match the uninterrupted run"
+        );
+        assert_eq!(resumed.report.counters, whole.report.counters);
+        // Only the remaining passes were executed: no blocksort, no
+        // merge-pass-0 (completed_passes = 1 covers both).
+        assert_eq!(resumed.run.kernels.first().map(|k| k.name.as_str()), Some("merge-pass-1"));
+        assert!(resumed.run.kernels.len() < whole.run.kernels.len());
+    }
+
+    #[test]
+    fn tampered_checkpoint_is_rejected() {
+        let rcfg = small_rcfg();
+        let input = InputSpec::UniformRandom { seed: 36 }.generate(4 * 160);
+        let cp = match simulate_sort_robust_checkpointed(
+            &input,
+            SortAlgorithm::CfMerge,
+            &rcfg,
+            &FaultPlan::none(),
+            CheckpointPolicy::kill_after(0),
+        ) {
+            Err(SortError::Interrupted { checkpoint, .. }) => *checkpoint,
+            other => panic!("expected Interrupted, got {other:?}"),
+        };
+        let mut bad = cp.clone();
+        bad.state[7] ^= 0x10;
+        assert!(matches!(
+            resume_sort_robust::<u32>(&bad, &rcfg, &FaultPlan::none()),
+            Err(SortError::CheckpointInvalid { .. })
+        ));
+        // Wrong launch config for the checkpoint.
+        let other_cfg = RobustConfig::new(SortConfig::with_params(SortParams::new(4, 64)));
+        assert!(matches!(
+            resume_sort_robust::<u32>(&cp, &other_cfg, &FaultPlan::none()),
+            Err(SortError::CheckpointInvalid { .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,114 @@
+//! Admission control: a bounded work queue with typed load shedding.
+//!
+//! The service's queue has an optional capacity; when a submission finds
+//! it full, the configured [`ShedPolicy`] decides who pays:
+//!
+//! * [`ShedPolicy::RejectNewest`] — the incoming job is refused with
+//!   [`SortError::Overloaded`](crate::sort::SortError::Overloaded).
+//! * [`ShedPolicy::RejectLargest`] — the largest queued job (by key
+//!   count; ties to the newest) is evicted with a typed
+//!   [`SortError::Shed`](crate::sort::SortError::Shed) if it is at least
+//!   as large as the incoming job; otherwise the incoming job is
+//!   refused.
+//! * [`ShedPolicy::DeadlineAware`] — queued jobs whose deadlines cannot
+//!   be met given the queue's modeled cost ahead of them (estimated by
+//!   [`estimate_sort_seconds`]) are shed first; if nothing is
+//!   unreachable, the incoming job is refused.
+//!
+//! Shed jobs never execute — not even partially — which
+//! `tests/resilience_proptests.rs` asserts.
+
+use crate::recovery::pipeline_shape;
+use crate::sort::pipeline::SortConfig;
+
+/// Who gets shed when the queue is full.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ShedPolicy {
+    /// Refuse the incoming job (classic bounded queue).
+    #[default]
+    RejectNewest,
+    /// Evict the largest queued job in favor of the incoming one.
+    RejectLargest,
+    /// Shed queued jobs that cannot meet their deadline anyway.
+    DeadlineAware,
+}
+
+impl ShedPolicy {
+    /// Stable label for artifacts and typed errors.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            ShedPolicy::RejectNewest => "reject-newest",
+            ShedPolicy::RejectLargest => "reject-largest",
+            ShedPolicy::DeadlineAware => "deadline-aware",
+        }
+    }
+}
+
+/// Queue bound and shed policy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Maximum admitted (pending, non-shed, non-cancelled) jobs; `None`
+    /// (the default) is the legacy unbounded queue.
+    pub capacity: Option<usize>,
+    /// Policy when a submission finds the queue full.
+    pub policy: ShedPolicy,
+}
+
+impl AdmissionConfig {
+    /// A bounded queue of `capacity` jobs under `policy`.
+    #[must_use]
+    pub fn bounded(capacity: usize, policy: ShedPolicy) -> Self {
+        Self { capacity: Some(capacity), policy }
+    }
+}
+
+/// Cheap deterministic estimate of a sort's modeled seconds: per launch,
+/// the fixed launch overhead plus one read and one write of the padded
+/// buffer at the device's full-occupancy effective bandwidth. Used only
+/// for deadline-aware admission (the real run is priced exactly by the
+/// timing model); it deliberately ignores conflicts, retries, and
+/// occupancy, so it is a *lower* bound — a job it calls unreachable
+/// truly is.
+#[must_use]
+pub fn estimate_sort_seconds(n: usize, cfg: &SortConfig) -> f64 {
+    let shape = pipeline_shape(n, &cfg.params);
+    if shape.is_empty() {
+        return 0.0;
+    }
+    let n_pad = shape[0] as usize * cfg.params.tile();
+    let bytes_per_pass = (n_pad * 2 * std::mem::size_of::<u32>()) as f64;
+    let bw = cfg.device.mem_bandwidth * cfg.timing.bw_efficiency_full;
+    shape.len() as f64 * (cfg.timing.launch_overhead_s + bytes_per_pass / bw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::SortParams;
+
+    #[test]
+    fn estimate_is_monotone_and_cheap_lower_bound() {
+        let cfg = SortConfig::with_params(SortParams::new(5, 32));
+        assert_eq!(estimate_sort_seconds(0, &cfg), 0.0);
+        let small = estimate_sort_seconds(160, &cfg);
+        let big = estimate_sort_seconds(16 * 160, &cfg);
+        assert!(small > 0.0);
+        assert!(big > small);
+        // Lower bound vs the exact pipeline price.
+        let input = crate::inputs::InputSpec::UniformRandom { seed: 1 }.generate(4 * 160);
+        let run = crate::sort::pipeline::simulate_sort(
+            &input,
+            crate::sort::pipeline::SortAlgorithm::CfMerge,
+            &cfg,
+        );
+        assert!(estimate_sort_seconds(input.len(), &cfg) <= run.simulated_seconds);
+    }
+
+    #[test]
+    fn policy_labels_are_stable() {
+        assert_eq!(ShedPolicy::RejectNewest.label(), "reject-newest");
+        assert_eq!(ShedPolicy::RejectLargest.label(), "reject-largest");
+        assert_eq!(ShedPolicy::DeadlineAware.label(), "deadline-aware");
+    }
+}

@@ -1,0 +1,130 @@
+//! Service-wide retry budget: a deterministic token bucket that prevents
+//! correlated faults from multiplying priced retry launches.
+//!
+//! Each retry execution costs one token. Before a job runs, the service
+//! grants it an effective per-block retry cap of
+//! `min(job cap, ⌊tokens⌋)`; after the run, the retries the job actually
+//! performed are debited (clamped at zero). With the bucket empty a job
+//! runs verify-once and degrades straight to the Thrust fallback on its
+//! first detection — the retry *storm* is gone, the recovery guarantee
+//! is not. Tokens refill at a configured rate per modeled second of
+//! service time, so the budget is a pure function of the (deterministic)
+//! job sequence.
+//!
+//! Granularity caveat, documented honestly: the grant is made per job,
+//! so a single job with many failing blocks can spend more than the
+//! tokens remaining at grant time (bounded by `cap · failing blocks`).
+//! The debit clamps at zero and the next grant sees the empty bucket.
+
+/// Retry-budget policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryBudgetConfig {
+    /// Bucket capacity in retry tokens; `None` (the default) is an
+    /// unlimited budget — every job keeps its full per-job retry cap.
+    pub capacity: Option<f64>,
+    /// Tokens restored per modeled second of service time.
+    pub refill_per_second: f64,
+}
+
+impl Default for RetryBudgetConfig {
+    fn default() -> Self {
+        Self { capacity: None, refill_per_second: 0.0 }
+    }
+}
+
+impl RetryBudgetConfig {
+    /// A bounded budget of `tokens` with no refill.
+    #[must_use]
+    pub fn bounded(tokens: f64) -> Self {
+        Self { capacity: Some(tokens), refill_per_second: 0.0 }
+    }
+}
+
+/// The bucket itself. All mutation is driven by the service's modeled
+/// clock, never wall time.
+#[derive(Debug, Clone)]
+pub struct RetryBudget {
+    config: RetryBudgetConfig,
+    tokens: f64,
+    last_refill_s: f64,
+}
+
+impl RetryBudget {
+    /// A full bucket under `config`.
+    #[must_use]
+    pub fn new(config: RetryBudgetConfig) -> Self {
+        Self { config, tokens: config.capacity.unwrap_or(0.0), last_refill_s: 0.0 }
+    }
+
+    /// Tokens currently in the bucket; `None` when the budget is
+    /// unlimited.
+    #[must_use]
+    pub fn tokens(&self) -> Option<f64> {
+        self.config.capacity.map(|_| self.tokens)
+    }
+
+    /// Accrue refill up to modeled time `now_s` (monotonic; earlier
+    /// times are ignored).
+    pub fn advance_to(&mut self, now_s: f64) {
+        let Some(cap) = self.config.capacity else { return };
+        if now_s > self.last_refill_s {
+            self.tokens = (self.tokens
+                + (now_s - self.last_refill_s) * self.config.refill_per_second)
+                .min(cap);
+            self.last_refill_s = now_s;
+        }
+    }
+
+    /// The effective per-block retry cap for the next job:
+    /// `min(want, ⌊tokens⌋)`, or `want` unchanged when unlimited. Grants
+    /// consume nothing — spend is debited after the run.
+    #[must_use]
+    pub fn grant(&self, want: u32) -> u32 {
+        match self.config.capacity {
+            None => want,
+            Some(_) => want.min(self.tokens.max(0.0).floor() as u32),
+        }
+    }
+
+    /// Debit the retries a job actually executed, clamping at zero.
+    pub fn debit(&mut self, retries: u64) {
+        if self.config.capacity.is_some() {
+            self.tokens = (self.tokens - retries as f64).max(0.0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_budget_is_transparent() {
+        let mut b = RetryBudget::new(RetryBudgetConfig::default());
+        assert_eq!(b.grant(3), 3);
+        b.debit(1_000_000);
+        b.advance_to(1e9);
+        assert_eq!(b.grant(2), 2);
+        assert_eq!(b.tokens(), None);
+    }
+
+    #[test]
+    fn bounded_budget_drains_clamps_and_refills() {
+        let mut b =
+            RetryBudget::new(RetryBudgetConfig { capacity: Some(4.0), refill_per_second: 2.0 });
+        assert_eq!(b.grant(3), 3);
+        b.debit(3);
+        assert_eq!(b.tokens(), Some(1.0));
+        assert_eq!(b.grant(3), 1);
+        b.debit(10); // overdraw clamps at zero, never negative
+        assert_eq!(b.tokens(), Some(0.0));
+        assert_eq!(b.grant(3), 0);
+        b.advance_to(1.0); // +2 tokens
+        assert_eq!(b.tokens(), Some(2.0));
+        assert_eq!(b.grant(3), 2);
+        b.advance_to(100.0); // refill saturates at capacity
+        assert_eq!(b.tokens(), Some(4.0));
+        b.advance_to(50.0); // time never runs backwards
+        assert_eq!(b.tokens(), Some(4.0));
+    }
+}

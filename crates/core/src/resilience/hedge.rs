@@ -1,0 +1,159 @@
+//! Straggler hedging policy and counters (Dean & Barroso's hedged
+//! requests, adapted to modeled GPU launches).
+//!
+//! After a launch's blocks complete, the robust driver compares each
+//! block's injected latency-spike cycles against a percentile threshold
+//! over *that launch's* completed blocks. Blocks above the threshold get
+//! a priced duplicate execution (an auxiliary launch — no host overhead,
+//! see `TimingModel::auxiliary_launch_time`), and the block's latency
+//! contribution becomes the faster of the two attempts. Fault-free runs
+//! have zero spike cycles everywhere, so no hedge ever launches and the
+//! run stays bit-identical to the unhedged driver.
+
+use cfmerge_json::{FromJson, Json, JsonError, ToJson};
+
+/// When the robust driver hedges a straggling block.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HedgeConfig {
+    /// Master switch; `false` (the default) disables all hedging
+    /// bookkeeping.
+    pub enabled: bool,
+    /// A block is a straggler when its spike cycles exceed this
+    /// percentile of the launch's per-block spike cycles (exclusive —
+    /// a launch whose blocks are all equally slow has no stragglers).
+    pub percentile: u32,
+    /// Ignore stragglers below this absolute spike size; keeps the
+    /// policy from hedging noise.
+    pub min_spike_cycles: u64,
+}
+
+impl Default for HedgeConfig {
+    fn default() -> Self {
+        Self { enabled: false, percentile: 95, min_spike_cycles: 1_000 }
+    }
+}
+
+impl HedgeConfig {
+    /// The default policy, switched on (p95 threshold, 1000-cycle floor).
+    #[must_use]
+    pub fn on() -> Self {
+        Self { enabled: true, ..Self::default() }
+    }
+
+    /// Indices of the blocks to hedge, given each block's accumulated
+    /// spike cycles. Deterministic: a pure function of the latency
+    /// vector.
+    #[must_use]
+    pub fn stragglers(&self, spike_cycles: &[u64]) -> Vec<usize> {
+        if !self.enabled || spike_cycles.is_empty() {
+            return Vec::new();
+        }
+        let mut sorted = spike_cycles.to_vec();
+        sorted.sort_unstable();
+        let idx = (self.percentile.min(100) as usize * (sorted.len() - 1)) / 100;
+        let threshold = sorted[idx];
+        spike_cycles
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > threshold && c >= self.min_spike_cycles)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// What hedging did in one run (folds into the `RecoveryReport`).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct HedgeCounters {
+    /// Hedged duplicates launched.
+    pub launched: u64,
+    /// Hedges whose duplicate finished faster than the straggler (the
+    /// duplicate's result was taken).
+    pub won: u64,
+    /// Straggler spike cycles avoided by winning hedges.
+    pub cycles_saved: u64,
+    /// Modeled seconds spent executing hedged duplicates.
+    pub hedge_seconds: f64,
+}
+
+impl HedgeCounters {
+    /// Fold `other` into `self`.
+    pub fn merge(&mut self, other: &HedgeCounters) {
+        self.launched += other.launched;
+        self.won += other.won;
+        self.cycles_saved += other.cycles_saved;
+        self.hedge_seconds += other.hedge_seconds;
+    }
+}
+
+impl ToJson for HedgeCounters {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("launched", Json::from(self.launched)),
+            ("won", Json::from(self.won)),
+            ("cycles_saved", Json::from(self.cycles_saved)),
+            ("hedge_seconds", Json::from(self.hedge_seconds)),
+        ])
+    }
+}
+
+impl FromJson for HedgeCounters {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            launched: v.field("launched")?,
+            won: v.field("won")?,
+            cycles_saved: v.field("cycles_saved")?,
+            hedge_seconds: v.field("hedge_seconds")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_policy_never_hedges() {
+        let cfg = HedgeConfig::default();
+        assert!(cfg.stragglers(&[0, 0, 1_000_000]).is_empty());
+    }
+
+    #[test]
+    fn fault_free_launch_has_no_stragglers() {
+        let cfg = HedgeConfig::on();
+        assert!(cfg.stragglers(&[0, 0, 0, 0]).is_empty());
+        assert!(cfg.stragglers(&[]).is_empty());
+    }
+
+    #[test]
+    fn outlier_above_percentile_and_floor_is_hedged() {
+        let cfg = HedgeConfig { enabled: true, percentile: 90, min_spike_cycles: 1_000 };
+        let mut lat = vec![0u64; 15];
+        lat.push(500_000);
+        assert_eq!(cfg.stragglers(&lat), vec![15]);
+        // Below the absolute floor: ignored even though it's the p100.
+        let mut small = vec![0u64; 15];
+        small.push(999);
+        assert!(cfg.stragglers(&small).is_empty());
+    }
+
+    #[test]
+    fn uniformly_slow_launch_is_not_hedged() {
+        // Every block equally slow: threshold equals every value, and the
+        // comparison is exclusive — hedging a uniformly slow launch would
+        // just double the work.
+        let cfg = HedgeConfig::on();
+        assert!(cfg.stragglers(&[50_000, 50_000, 50_000]).is_empty());
+    }
+
+    #[test]
+    fn counters_merge_and_roundtrip() {
+        let mut a = HedgeCounters { launched: 2, won: 1, cycles_saved: 10, hedge_seconds: 1e-6 };
+        let b = HedgeCounters { launched: 1, won: 1, cycles_saved: 5, hedge_seconds: 2e-6 };
+        a.merge(&b);
+        assert_eq!(a.launched, 3);
+        assert_eq!(a.won, 2);
+        assert_eq!(a.cycles_saved, 15);
+        let back = HedgeCounters::from_json(&a.to_json()).unwrap();
+        assert_eq!(back, a);
+    }
+}

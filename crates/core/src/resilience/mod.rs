@@ -1,0 +1,25 @@
+//! Service-level resilience for the sort service: admission control and
+//! load shedding, per-config circuit breakers, a service-wide retry
+//! budget, straggler hedging, and checkpoint/resume.
+//!
+//! Every mechanism is deterministic and priced in the modeled timing
+//! domain — there is no wall-clock anywhere. With everything at its
+//! default (off), the service and the robust driver behave bit for bit
+//! like they did before this module existed; `docs/ROBUSTNESS.md` has
+//! the policy matrix.
+
+pub mod admission;
+pub mod breaker;
+pub mod budget;
+pub mod checkpoint;
+pub mod hedge;
+pub mod service;
+
+pub use admission::{estimate_sort_seconds, AdmissionConfig, ShedPolicy};
+pub use breaker::{BreakerConfig, BreakerState, BreakerTransition, CircuitBreaker, Route};
+pub use budget::{RetryBudget, RetryBudgetConfig};
+pub use checkpoint::{CheckpointPolicy, SortCheckpoint, CHECKPOINT_VERSION};
+pub use hedge::{HedgeConfig, HedgeCounters};
+pub use service::{
+    aggregate_counters, JobId, JobOutcome, ResilienceConfig, ServiceCounters, SortService,
+};

@@ -1,0 +1,1031 @@
+//! The resilient batch sort service: admission control, circuit
+//! breakers, a service-wide retry budget, and checkpoint/resume layered
+//! over the robust driver.
+//!
+//! Everything here is deterministic. [`SortService::drain`] executes the
+//! batch *sequentially in submission order* (each job is internally
+//! parallel via the robust driver), and the service clock advances by
+//! each completed job's modeled seconds — so breaker cooldowns, budget
+//! refill, and probe scheduling are pure functions of the job sequence.
+//! With the default [`ResilienceConfig`] (everything off) the service
+//! behaves exactly like the legacy batch front-end.
+
+use cfmerge_gpu_sim::fault::FaultPlan;
+use cfmerge_json::{FromJson, Json, JsonError, ToJson};
+
+use crate::params::SortParams;
+use crate::recovery::{
+    resume_sort_robust, simulate_sort_robust, simulate_sort_robust_checkpointed, RecoveryCounters,
+    RobustConfig, RobustSortRun,
+};
+use crate::resilience::admission::{estimate_sort_seconds, AdmissionConfig, ShedPolicy};
+use crate::resilience::breaker::{BreakerConfig, BreakerState, CircuitBreaker, Route};
+use crate::resilience::budget::{RetryBudget, RetryBudgetConfig};
+use crate::resilience::checkpoint::{CheckpointPolicy, SortCheckpoint};
+use crate::sort::pipeline::SortAlgorithm;
+use crate::sort::SortError;
+
+/// Handle to a job submitted to a [`SortService`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct JobId(u64);
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job-{}", self.0)
+    }
+}
+
+/// The service's resilience policy; the default switches every mechanism
+/// off, which reproduces the legacy service bit for bit.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ResilienceConfig {
+    /// Queue bound and shed policy.
+    pub admission: AdmissionConfig,
+    /// Service-wide retry token bucket.
+    pub retry_budget: RetryBudgetConfig,
+    /// Per-(pipeline, launch-config) circuit breakers.
+    pub breaker: BreakerConfig,
+}
+
+/// What a job sorts: fresh input, or a checkpoint to resume.
+enum Payload {
+    Fresh { input: Vec<u32>, algo: SortAlgorithm },
+    Resume { checkpoint: Box<SortCheckpoint> },
+}
+
+struct Job {
+    id: JobId,
+    label: String,
+    payload: Payload,
+    plan: FaultPlan,
+    deadline_s: Option<f64>,
+    cancelled: bool,
+    checkpoint_policy: CheckpointPolicy,
+    /// Set at admission time when the job was refused or shed; such jobs
+    /// never execute, not even partially.
+    pre_shed: Option<SortError>,
+    /// Key count, for admission sizing.
+    n: usize,
+}
+
+impl Job {
+    fn admitted(&self) -> bool {
+        self.pre_shed.is_none() && !self.cancelled
+    }
+
+    fn algo_label(&self) -> String {
+        match &self.payload {
+            Payload::Fresh { algo, .. } => algo.label().to_string(),
+            Payload::Resume { checkpoint } => checkpoint.algorithm.clone(),
+        }
+    }
+}
+
+/// How one service job ended.
+#[derive(Debug)]
+pub struct JobOutcome {
+    /// The job's handle.
+    pub id: JobId,
+    /// The label it was submitted under.
+    pub label: String,
+    /// The verified run — or the typed reason there isn't one.
+    pub result: Result<RobustSortRun<u32>, SortError>,
+    /// The job ran on the quarantine config because its breaker was
+    /// open.
+    pub quarantined: bool,
+    /// The job was a half-open breaker probe.
+    pub probe: bool,
+    /// The per-block retry cap the budget granted this job.
+    pub retries_granted: u32,
+    /// Checkpoints captured during the run (empty unless the job was
+    /// submitted with a non-noop [`CheckpointPolicy`]).
+    pub checkpoints: Vec<SortCheckpoint>,
+}
+
+impl JobOutcome {
+    /// The job's recovery counters; for failed jobs, a zeroed set with
+    /// `unrecovered = 1` when the failure was an unrecoverable fault.
+    #[must_use]
+    pub fn counters(&self) -> RecoveryCounters {
+        match &self.result {
+            Ok(run) => run.report.counters,
+            Err(SortError::UnrecoverableFault { .. }) => {
+                RecoveryCounters { unrecovered: 1, ..RecoveryCounters::default() }
+            }
+            Err(_) => RecoveryCounters::default(),
+        }
+    }
+}
+
+/// Sum the counters of a batch of outcomes (the artifact-level "N
+/// injected / N detected / N recovered" statement).
+#[must_use]
+pub fn aggregate_counters(outcomes: &[JobOutcome]) -> RecoveryCounters {
+    let mut total = RecoveryCounters::default();
+    for o in outcomes {
+        total.merge(&o.counters());
+    }
+    total
+}
+
+/// Lifetime tallies of every resilience decision the service made.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceCounters {
+    /// Jobs ever submitted (sheds and cancels included).
+    pub submitted: u64,
+    /// Jobs the queue accepted (some may be shed later by
+    /// [`ShedPolicy::RejectLargest`] / [`ShedPolicy::DeadlineAware`]).
+    pub admitted: u64,
+    /// Jobs that actually ran the robust driver.
+    pub executed: u64,
+    /// Executed jobs that returned a verified sorted output in deadline.
+    pub verified_ok: u64,
+    /// Executed jobs that ended in a typed error.
+    pub failed: u64,
+    /// Jobs cancelled before execution.
+    pub cancelled: u64,
+    /// Incoming jobs refused with [`SortError::Overloaded`].
+    pub shed_overload: u64,
+    /// Queued jobs evicted by [`ShedPolicy::RejectLargest`].
+    pub shed_largest: u64,
+    /// Queued jobs shed by [`ShedPolicy::DeadlineAware`].
+    pub shed_deadline: u64,
+    /// Submissions refused with [`SortError::InvalidDeadline`].
+    pub invalid_deadline: u64,
+    /// Jobs whose retry cap was reduced by the budget.
+    pub budget_denied: u64,
+    /// Breaker transitions into `Open`.
+    pub breaker_opens: u64,
+    /// Breaker transitions into `HalfOpen`.
+    pub breaker_half_opens: u64,
+    /// Breaker transitions into `Closed`.
+    pub breaker_closes: u64,
+    /// Jobs routed to the quarantine config by an open breaker.
+    pub quarantined: u64,
+    /// Jobs run as half-open breaker probes.
+    pub probes: u64,
+    /// Checkpoint-resume jobs executed.
+    pub resumed: u64,
+    /// Checkpoints captured across all jobs.
+    pub checkpoints_taken: u64,
+}
+
+impl ServiceCounters {
+    /// Fold `other` into `self` field by field.
+    pub fn merge(&mut self, other: &ServiceCounters) {
+        self.submitted += other.submitted;
+        self.admitted += other.admitted;
+        self.executed += other.executed;
+        self.verified_ok += other.verified_ok;
+        self.failed += other.failed;
+        self.cancelled += other.cancelled;
+        self.shed_overload += other.shed_overload;
+        self.shed_largest += other.shed_largest;
+        self.shed_deadline += other.shed_deadline;
+        self.invalid_deadline += other.invalid_deadline;
+        self.budget_denied += other.budget_denied;
+        self.breaker_opens += other.breaker_opens;
+        self.breaker_half_opens += other.breaker_half_opens;
+        self.breaker_closes += other.breaker_closes;
+        self.quarantined += other.quarantined;
+        self.probes += other.probes;
+        self.resumed += other.resumed;
+        self.checkpoints_taken += other.checkpoints_taken;
+    }
+}
+
+impl ToJson for ServiceCounters {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("submitted", Json::from(self.submitted)),
+            ("admitted", Json::from(self.admitted)),
+            ("executed", Json::from(self.executed)),
+            ("verified_ok", Json::from(self.verified_ok)),
+            ("failed", Json::from(self.failed)),
+            ("cancelled", Json::from(self.cancelled)),
+            ("shed_overload", Json::from(self.shed_overload)),
+            ("shed_largest", Json::from(self.shed_largest)),
+            ("shed_deadline", Json::from(self.shed_deadline)),
+            ("invalid_deadline", Json::from(self.invalid_deadline)),
+            ("budget_denied", Json::from(self.budget_denied)),
+            ("breaker_opens", Json::from(self.breaker_opens)),
+            ("breaker_half_opens", Json::from(self.breaker_half_opens)),
+            ("breaker_closes", Json::from(self.breaker_closes)),
+            ("quarantined", Json::from(self.quarantined)),
+            ("probes", Json::from(self.probes)),
+            ("resumed", Json::from(self.resumed)),
+            ("checkpoints_taken", Json::from(self.checkpoints_taken)),
+        ])
+    }
+}
+
+impl FromJson for ServiceCounters {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        Ok(Self {
+            submitted: v.field("submitted")?,
+            admitted: v.field("admitted")?,
+            executed: v.field("executed")?,
+            verified_ok: v.field("verified_ok")?,
+            failed: v.field("failed")?,
+            cancelled: v.field("cancelled")?,
+            shed_overload: v.field("shed_overload")?,
+            shed_largest: v.field("shed_largest")?,
+            shed_deadline: v.field("shed_deadline")?,
+            invalid_deadline: v.field("invalid_deadline")?,
+            budget_denied: v.field("budget_denied")?,
+            breaker_opens: v.field("breaker_opens")?,
+            breaker_half_opens: v.field("breaker_half_opens")?,
+            breaker_closes: v.field("breaker_closes")?,
+            quarantined: v.field("quarantined")?,
+            probes: v.field("probes")?,
+            resumed: v.field("resumed")?,
+            checkpoints_taken: v.field("checkpoints_taken")?,
+        })
+    }
+}
+
+/// Degradation-aware batch front-end over the robust driver: submit jobs
+/// (optionally with fault plans, deadlines, and checkpoint policies),
+/// cancel any of them, then [`SortService::drain`] executes the batch
+/// deterministically and returns per-job typed outcomes.
+pub struct SortService {
+    config: RobustConfig,
+    resilience: ResilienceConfig,
+    jobs: Vec<Job>,
+    next_id: u64,
+    budget: RetryBudget,
+    breakers: Vec<((String, usize, usize), CircuitBreaker)>,
+    clock_s: f64,
+    counters: ServiceCounters,
+}
+
+impl SortService {
+    /// A service running every job under `config`, with every resilience
+    /// mechanism off (legacy behavior).
+    #[must_use]
+    pub fn new(config: RobustConfig) -> Self {
+        Self::with_resilience(config, ResilienceConfig::default())
+    }
+
+    /// A service under `config` with an explicit resilience policy.
+    #[must_use]
+    pub fn with_resilience(config: RobustConfig, resilience: ResilienceConfig) -> Self {
+        Self {
+            config,
+            resilience,
+            jobs: Vec::new(),
+            next_id: 0,
+            budget: RetryBudget::new(resilience.retry_budget),
+            breakers: Vec::new(),
+            clock_s: 0.0,
+            counters: ServiceCounters::default(),
+        }
+    }
+
+    /// Lifetime resilience tallies.
+    #[must_use]
+    pub fn counters(&self) -> &ServiceCounters {
+        &self.counters
+    }
+
+    /// The modeled service clock: the sum of every executed job's
+    /// simulated seconds so far.
+    #[must_use]
+    pub fn clock_s(&self) -> f64 {
+        self.clock_s
+    }
+
+    /// Retry tokens currently in the budget (`None` when unlimited).
+    #[must_use]
+    pub fn budget_tokens(&self) -> Option<f64> {
+        self.budget.tokens()
+    }
+
+    /// Snapshot of every breaker the service has instantiated:
+    /// `(pipeline label, E, u, state, opens)`.
+    #[must_use]
+    pub fn breaker_snapshots(&self) -> Vec<(String, usize, usize, BreakerState, u64)> {
+        self.breakers
+            .iter()
+            .map(|((label, e, u), b)| (label.clone(), *e, *u, b.state(), b.opens()))
+            .collect()
+    }
+
+    /// Submit a production job (no fault injection, no deadline).
+    pub fn submit(&mut self, label: &str, input: Vec<u32>, algo: SortAlgorithm) -> JobId {
+        self.submit_with_faults(label, input, algo, FaultPlan::none(), None)
+    }
+
+    /// Submit a job with a fault plan and an optional deadline in modeled
+    /// seconds. A job whose modeled completion time (retries, backoff,
+    /// and spikes included) exceeds the deadline fails with
+    /// [`SortError::DeadlineExceeded`].
+    pub fn submit_with_faults(
+        &mut self,
+        label: &str,
+        input: Vec<u32>,
+        algo: SortAlgorithm,
+        plan: FaultPlan,
+        deadline_s: Option<f64>,
+    ) -> JobId {
+        self.submit_with_policy(label, input, algo, plan, deadline_s, CheckpointPolicy::default())
+    }
+
+    /// Submit a job that also captures checkpoints under `policy` (and,
+    /// for a kill policy, dies with [`SortError::Interrupted`] carrying
+    /// the checkpoint to resume from).
+    pub fn submit_with_policy(
+        &mut self,
+        label: &str,
+        input: Vec<u32>,
+        algo: SortAlgorithm,
+        plan: FaultPlan,
+        deadline_s: Option<f64>,
+        policy: CheckpointPolicy,
+    ) -> JobId {
+        let n = input.len();
+        self.enqueue(Job {
+            id: JobId(0), // assigned by enqueue
+            label: label.to_string(),
+            payload: Payload::Fresh { input, algo },
+            plan,
+            deadline_s,
+            cancelled: false,
+            checkpoint_policy: policy,
+            pre_shed: None,
+            n,
+        })
+    }
+
+    /// Submit a resume of an interrupted job from its checkpoint. The
+    /// checkpoint's integrity is validated at execution time; tampered or
+    /// mismatched checkpoints fail with [`SortError::CheckpointInvalid`].
+    pub fn submit_resume(
+        &mut self,
+        label: &str,
+        checkpoint: SortCheckpoint,
+        plan: FaultPlan,
+        deadline_s: Option<f64>,
+    ) -> JobId {
+        let n = checkpoint.n;
+        self.enqueue(Job {
+            id: JobId(0),
+            label: label.to_string(),
+            payload: Payload::Resume { checkpoint: Box::new(checkpoint) },
+            plan,
+            deadline_s,
+            cancelled: false,
+            checkpoint_policy: CheckpointPolicy::default(),
+            pre_shed: None,
+            n,
+        })
+    }
+
+    /// Assign an id, run admission control, and queue the job. Ids are
+    /// monotonically increasing for the lifetime of the service — they
+    /// are never reused across batches, so a stale handle from a drained
+    /// batch can never cancel a newer job.
+    fn enqueue(&mut self, mut job: Job) -> JobId {
+        job.id = JobId(self.next_id);
+        self.next_id += 1;
+        self.counters.submitted += 1;
+
+        // Deadline sanity comes first: a NaN or negative deadline is a
+        // caller bug, not load.
+        if let Some(d) = job.deadline_s {
+            if !d.is_finite() || d < 0.0 {
+                self.counters.invalid_deadline += 1;
+                job.pre_shed = Some(SortError::InvalidDeadline { deadline_s: d });
+                let id = job.id;
+                self.jobs.push(job);
+                return id;
+            }
+        }
+
+        match self.resilience.admission.capacity {
+            Some(capacity) if self.admitted_count() >= capacity => {
+                self.apply_shed_policy(&mut job, capacity);
+            }
+            _ => {}
+        }
+        if job.pre_shed.is_none() {
+            self.counters.admitted += 1;
+        }
+        let id = job.id;
+        self.jobs.push(job);
+        id
+    }
+
+    fn admitted_count(&self) -> usize {
+        self.jobs.iter().filter(|j| j.admitted()).count()
+    }
+
+    /// The queue is full: decide who pays, per the configured policy.
+    fn apply_shed_policy(&mut self, incoming: &mut Job, capacity: usize) {
+        match self.resilience.admission.policy {
+            ShedPolicy::RejectNewest => {
+                self.counters.shed_overload += 1;
+                incoming.pre_shed = Some(SortError::Overloaded { capacity });
+            }
+            ShedPolicy::RejectLargest => {
+                // Evict the largest queued job (ties to the newest) if it
+                // is at least as large as the incoming one.
+                let victim = self
+                    .jobs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, j)| j.admitted() && j.n >= incoming.n)
+                    .max_by_key(|(i, j)| (j.n, *i))
+                    .map(|(i, _)| i);
+                match victim {
+                    Some(i) => {
+                        self.counters.shed_largest += 1;
+                        let n = self.jobs[i].n;
+                        self.jobs[i].pre_shed = Some(SortError::Shed {
+                            policy: ShedPolicy::RejectLargest.label(),
+                            reason: format!(
+                                "evicted ({n} keys) for a newer {}-key job with the queue at \
+                                 capacity {capacity}",
+                                incoming.n
+                            ),
+                        });
+                    }
+                    None => {
+                        self.counters.shed_overload += 1;
+                        incoming.pre_shed = Some(SortError::Overloaded { capacity });
+                    }
+                }
+            }
+            ShedPolicy::DeadlineAware => {
+                // Shed queued jobs that provably cannot meet their own
+                // deadline: the optimistic lower-bound estimate already
+                // exceeds it, so running them would only burn modeled
+                // time ahead of feasible work.
+                let mut shed_any = false;
+                for j in &mut self.jobs {
+                    if !j.admitted() {
+                        continue;
+                    }
+                    if let Some(d) = j.deadline_s {
+                        let floor = estimate_sort_seconds(j.n, &self.config.base);
+                        if floor > d {
+                            shed_any = true;
+                            self.counters.shed_deadline += 1;
+                            j.pre_shed = Some(SortError::Shed {
+                                policy: ShedPolicy::DeadlineAware.label(),
+                                reason: format!(
+                                    "deadline {d:.3e}s unreachable: optimistic lower bound is \
+                                     {floor:.3e}s"
+                                ),
+                            });
+                        }
+                    }
+                }
+                if !shed_any {
+                    self.counters.shed_overload += 1;
+                    incoming.pre_shed = Some(SortError::Overloaded { capacity });
+                }
+            }
+        }
+    }
+
+    /// Cancel a pending job. Returns `false` if the id is unknown (or the
+    /// batch containing it already ran).
+    pub fn cancel(&mut self, id: JobId) -> bool {
+        match self.jobs.iter_mut().find(|j| j.id == id) {
+            Some(job) => {
+                job.cancelled = true;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of jobs waiting in the current batch (cancelled and shed
+    /// included — they still produce an outcome).
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Execute every submitted job and drain the batch. Outcomes come
+    /// back in submission order; cancelled jobs yield
+    /// [`SortError::Cancelled`] and shed jobs their typed shed error,
+    /// without running. Deterministic: jobs run sequentially in
+    /// submission order and all scheduling is in modeled time.
+    pub fn drain(&mut self) -> Vec<JobOutcome> {
+        let jobs = std::mem::take(&mut self.jobs);
+        jobs.into_iter().map(|job| self.execute(job)).collect()
+    }
+
+    /// Legacy alias for [`SortService::drain`].
+    pub fn run_all(&mut self) -> Vec<JobOutcome> {
+        self.drain()
+    }
+
+    fn breaker_for(&mut self, key: (String, usize, usize)) -> &mut CircuitBreaker {
+        if let Some(i) = self.breakers.iter().position(|(k, _)| *k == key) {
+            return &mut self.breakers[i].1;
+        }
+        self.breakers.push((key, CircuitBreaker::new()));
+        &mut self.breakers.last_mut().expect("just pushed").1
+    }
+
+    /// Tally breaker transitions that happened after index `from`.
+    fn tally_breaker_transitions(&mut self, key: &(String, usize, usize), from: usize) {
+        let Some((_, b)) = self.breakers.iter().find(|(k, _)| k == key) else { return };
+        for t in &b.transitions()[from..] {
+            match t.to {
+                BreakerState::Open => self.counters.breaker_opens += 1,
+                BreakerState::HalfOpen => self.counters.breaker_half_opens += 1,
+                BreakerState::Closed => self.counters.breaker_closes += 1,
+            }
+        }
+    }
+
+    fn execute(&mut self, job: Job) -> JobOutcome {
+        if let Some(err) = job.pre_shed {
+            return JobOutcome {
+                id: job.id,
+                label: job.label,
+                result: Err(err),
+                quarantined: false,
+                probe: false,
+                retries_granted: 0,
+                checkpoints: Vec::new(),
+            };
+        }
+        if job.cancelled {
+            self.counters.cancelled += 1;
+            return JobOutcome {
+                id: job.id,
+                label: job.label,
+                result: Err(SortError::Cancelled),
+                quarantined: false,
+                probe: false,
+                retries_granted: 0,
+                checkpoints: Vec::new(),
+            };
+        }
+        self.counters.executed += 1;
+
+        // Breaker routing. Resumes are pinned to their checkpoint's
+        // launch config, so they bypass the breaker entirely: they can
+        // neither be quarantined (the checkpoint's shape would not
+        // match) nor serve as probes.
+        let is_resume = matches!(job.payload, Payload::Resume { .. });
+        let key = (job.algo_label(), self.config.base.params.e, self.config.base.params.u);
+        let transitions_before =
+            self.breakers.iter().find(|(k, _)| *k == key).map_or(0, |(_, b)| b.transitions().len());
+        let route = if self.resilience.breaker.enabled && !is_resume {
+            let now = self.clock_s;
+            self.breaker_for(key.clone()).route(now)
+        } else {
+            Route::Normal
+        };
+        let quarantined = route == Route::Quarantine;
+        let probe = route == Route::Probe;
+        if quarantined {
+            self.counters.quarantined += 1;
+        }
+        if probe {
+            self.counters.probes += 1;
+        }
+
+        // Budget grant: the effective per-block retry cap for this job.
+        self.budget.advance_to(self.clock_s);
+        let want = self.config.max_retries;
+        let granted = self.budget.grant(want);
+        if granted < want {
+            self.counters.budget_denied += 1;
+        }
+
+        let mut cfg = self.config.clone();
+        cfg.max_retries = granted;
+        if quarantined {
+            // Substitute the known-good paper config while the breaker
+            // cools down.
+            cfg.base.params = SortParams::e17_u256();
+        }
+
+        let mut checkpoints = Vec::new();
+        let result = match &job.payload {
+            Payload::Resume { checkpoint } => {
+                self.counters.resumed += 1;
+                resume_sort_robust::<u32>(checkpoint, &cfg, &job.plan)
+            }
+            Payload::Fresh { input, algo } if !job.checkpoint_policy.is_noop() => {
+                simulate_sort_robust_checkpointed(
+                    input,
+                    *algo,
+                    &cfg,
+                    &job.plan,
+                    job.checkpoint_policy,
+                )
+                .map(|(run, taken)| {
+                    checkpoints = taken;
+                    run
+                })
+            }
+            Payload::Fresh { input, algo } => simulate_sort_robust(input, *algo, &cfg, &job.plan),
+        };
+        self.counters.checkpoints_taken += checkpoints.len() as u64;
+
+        // Settle the budget and the breaker on the run's real outcome,
+        // then advance the modeled clock.
+        let elapsed = match &result {
+            Ok(run) => {
+                self.budget.debit(run.report.counters.retries);
+                run.run.simulated_seconds
+            }
+            Err(_) => 0.0,
+        };
+        if self.resilience.breaker.enabled && !is_resume && !quarantined {
+            // Success means the requested config carried the job without
+            // pipeline-level degradation; a fallback rescue is a health
+            // failure of the config even though the job's output is fine.
+            let success = match &result {
+                Ok(run) => run.report.counters.fallbacks == 0,
+                Err(_) => false,
+            };
+            let at = self.clock_s + elapsed;
+            let bc = self.resilience.breaker;
+            self.breaker_for(key.clone()).on_outcome(success, at, &bc);
+        }
+        self.tally_breaker_transitions(&key, transitions_before);
+        self.clock_s += elapsed;
+
+        // Deadline enforcement on the exact modeled duration.
+        let result = result.and_then(|run| match job.deadline_s {
+            Some(d) if run.run.simulated_seconds > d => Err(SortError::DeadlineExceeded {
+                deadline_s: d,
+                needed_s: run.run.simulated_seconds,
+            }),
+            _ => Ok(run),
+        });
+        match &result {
+            Ok(_) => self.counters.verified_ok += 1,
+            Err(_) => self.counters.failed += 1,
+        }
+
+        JobOutcome {
+            id: job.id,
+            label: job.label,
+            result,
+            quarantined,
+            probe,
+            retries_granted: granted,
+            checkpoints,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inputs::InputSpec;
+    use crate::params::SortParams;
+    use crate::sort::pipeline::SortConfig;
+    use cfmerge_gpu_sim::fault::{FaultKind, FaultSite, Persistence};
+
+    fn small_rcfg() -> RobustConfig {
+        RobustConfig::new(SortConfig::with_params(SortParams::new(5, 32)))
+    }
+
+    fn site(kernel: u32, block: u32, kind: FaultKind, persistence: Persistence) -> FaultSite {
+        FaultSite { kernel, block, phase: 1, kind, persistence }
+    }
+
+    #[test]
+    fn service_runs_cancels_and_enforces_deadlines() {
+        let mut svc = SortService::new(small_rcfg());
+        let input = InputSpec::UniformRandom { seed: 18 }.generate(2 * 160);
+        let ok_id = svc.submit("ok", input.clone(), SortAlgorithm::CfMerge);
+        let cancel_id = svc.submit("cancel-me", input.clone(), SortAlgorithm::CfMerge);
+        let tight_id = svc.submit_with_faults(
+            "tight",
+            input.clone(),
+            SortAlgorithm::CfMerge,
+            FaultPlan::none(),
+            Some(1e-12),
+        );
+        let faulty_id = svc.submit_with_faults(
+            "faulty",
+            input.clone(),
+            SortAlgorithm::CfMerge,
+            FaultPlan::from_sites(vec![site(
+                0,
+                0,
+                FaultKind::StuckBank { bank: 0, bit: 0 },
+                Persistence::Transient,
+            )]),
+            Some(1.0),
+        );
+        assert!(svc.cancel(cancel_id));
+        assert!(!svc.cancel(JobId(999)));
+        assert_eq!(svc.pending(), 4);
+
+        let outcomes = svc.run_all();
+        assert_eq!(svc.pending(), 0);
+        assert_eq!(outcomes.len(), 4);
+        assert_eq!(outcomes[0].id, ok_id);
+        let ok_run = outcomes[0].result.as_ref().expect("ok job");
+        let mut expect = input.clone();
+        expect.sort_unstable();
+        assert_eq!(ok_run.run.output, expect);
+        assert_eq!(outcomes[1].id, cancel_id);
+        assert!(matches!(outcomes[1].result, Err(SortError::Cancelled)));
+        assert_eq!(outcomes[2].id, tight_id);
+        assert!(matches!(outcomes[2].result, Err(SortError::DeadlineExceeded { .. })));
+        assert_eq!(outcomes[3].id, faulty_id);
+        let faulty_run = outcomes[3].result.as_ref().expect("faulty job recovers");
+        assert_eq!(faulty_run.run.output, expect);
+
+        let total = aggregate_counters(&outcomes);
+        assert!(total.faults_injected >= 1);
+        assert_eq!(total.faults_detected, 1);
+        assert_eq!(total.retries, 1);
+        assert_eq!(total.unrecovered, 0);
+
+        let sc = svc.counters();
+        assert_eq!(sc.submitted, 4);
+        assert_eq!(sc.executed, 3);
+        assert_eq!(sc.verified_ok, 2);
+        assert_eq!(sc.failed, 1);
+        assert_eq!(sc.cancelled, 1);
+        assert!(svc.clock_s() > 0.0);
+    }
+
+    #[test]
+    fn job_ids_never_reset_across_batches() {
+        let mut svc = SortService::new(small_rcfg());
+        let input = InputSpec::UniformRandom { seed: 40 }.generate(160);
+        let a = svc.submit("a", input.clone(), SortAlgorithm::CfMerge);
+        svc.drain();
+        let b = svc.submit("b", input, SortAlgorithm::CfMerge);
+        assert_ne!(a, b, "a drained batch's ids must never be reissued");
+        // A stale handle from the drained batch cannot cancel anything.
+        assert!(!svc.cancel(a));
+        assert!(svc.cancel(b));
+    }
+
+    #[test]
+    fn invalid_deadlines_are_typed_not_panics() {
+        let mut svc = SortService::new(small_rcfg());
+        let input = InputSpec::UniformRandom { seed: 41 }.generate(160);
+        for bad in [-1.0, f64::NAN, f64::NEG_INFINITY] {
+            svc.submit_with_faults(
+                "bad",
+                input.clone(),
+                SortAlgorithm::CfMerge,
+                FaultPlan::none(),
+                Some(bad),
+            );
+        }
+        // A zero deadline at t=0 is *valid* — it just cannot be met.
+        svc.submit_with_faults(
+            "zero",
+            input.clone(),
+            SortAlgorithm::CfMerge,
+            FaultPlan::none(),
+            Some(0.0),
+        );
+        let outcomes = svc.drain();
+        for o in &outcomes[..3] {
+            assert!(
+                matches!(o.result, Err(SortError::InvalidDeadline { .. })),
+                "expected InvalidDeadline, got {:?}",
+                o.result
+            );
+        }
+        assert!(matches!(outcomes[3].result, Err(SortError::DeadlineExceeded { .. })));
+        assert_eq!(svc.counters().invalid_deadline, 3);
+        assert_eq!(svc.counters().executed, 1);
+    }
+
+    #[test]
+    fn cancelling_a_resume_job_never_executes_it() {
+        let rcfg = small_rcfg();
+        let input = InputSpec::UniformRandom { seed: 42 }.generate(4 * 160);
+        let cp = match crate::recovery::simulate_sort_robust_checkpointed(
+            &input,
+            SortAlgorithm::CfMerge,
+            &rcfg,
+            &FaultPlan::none(),
+            CheckpointPolicy::kill_after(0),
+        ) {
+            Err(SortError::Interrupted { checkpoint, .. }) => *checkpoint,
+            other => panic!("expected Interrupted, got {other:?}"),
+        };
+        let mut svc = SortService::new(rcfg);
+        let id = svc.submit_resume("resume", cp, FaultPlan::none(), None);
+        assert!(svc.cancel(id));
+        let outcomes = svc.drain();
+        assert!(matches!(outcomes[0].result, Err(SortError::Cancelled)));
+        assert_eq!(svc.counters().resumed, 0, "cancelled resume must not execute");
+        assert_eq!(svc.clock_s(), 0.0);
+    }
+
+    #[test]
+    fn reject_newest_sheds_the_incoming_job() {
+        let mut svc = SortService::with_resilience(
+            small_rcfg(),
+            ResilienceConfig {
+                admission: AdmissionConfig::bounded(2, ShedPolicy::RejectNewest),
+                ..ResilienceConfig::default()
+            },
+        );
+        let input = InputSpec::UniformRandom { seed: 43 }.generate(160);
+        svc.submit("a", input.clone(), SortAlgorithm::CfMerge);
+        svc.submit("b", input.clone(), SortAlgorithm::CfMerge);
+        svc.submit("c", input, SortAlgorithm::CfMerge);
+        let outcomes = svc.drain();
+        assert!(outcomes[0].result.is_ok());
+        assert!(outcomes[1].result.is_ok());
+        assert!(matches!(outcomes[2].result, Err(SortError::Overloaded { capacity: 2 })));
+        assert_eq!(svc.counters().shed_overload, 1);
+        assert_eq!(svc.counters().executed, 2);
+    }
+
+    #[test]
+    fn reject_largest_evicts_the_biggest_queued_job() {
+        let mut svc = SortService::with_resilience(
+            small_rcfg(),
+            ResilienceConfig {
+                admission: AdmissionConfig::bounded(2, ShedPolicy::RejectLargest),
+                ..ResilienceConfig::default()
+            },
+        );
+        let small = InputSpec::UniformRandom { seed: 44 }.generate(160);
+        let big = InputSpec::UniformRandom { seed: 45 }.generate(8 * 160);
+        svc.submit("small", small.clone(), SortAlgorithm::CfMerge);
+        let big_id = svc.submit("big", big, SortAlgorithm::CfMerge);
+        let new_id = svc.submit("newcomer", small.clone(), SortAlgorithm::CfMerge);
+        // An incoming job larger than everything queued is refused
+        // instead (evicting a smaller job would not make room policy-
+        // wise).
+        let huge = InputSpec::UniformRandom { seed: 46 }.generate(16 * 160);
+        let huge_id = svc.submit("huge", huge, SortAlgorithm::CfMerge);
+        let outcomes = svc.drain();
+        let by_id = |id: JobId| outcomes.iter().find(|o| o.id == id).unwrap();
+        assert!(
+            matches!(&by_id(big_id).result, Err(SortError::Shed { policy, .. }) if *policy == "reject-largest")
+        );
+        assert!(by_id(new_id).result.is_ok());
+        assert!(matches!(by_id(huge_id).result, Err(SortError::Overloaded { .. })));
+        assert_eq!(svc.counters().shed_largest, 1);
+        assert_eq!(svc.counters().shed_overload, 1);
+    }
+
+    #[test]
+    fn deadline_aware_sheds_unreachable_jobs_first() {
+        let mut svc = SortService::with_resilience(
+            small_rcfg(),
+            ResilienceConfig {
+                admission: AdmissionConfig::bounded(2, ShedPolicy::DeadlineAware),
+                ..ResilienceConfig::default()
+            },
+        );
+        let input = InputSpec::UniformRandom { seed: 47 }.generate(4 * 160);
+        svc.submit("feasible", input.clone(), SortAlgorithm::CfMerge);
+        let doomed = svc.submit_with_faults(
+            "doomed",
+            input.clone(),
+            SortAlgorithm::CfMerge,
+            FaultPlan::none(),
+            Some(1e-15),
+        );
+        let late = svc.submit("latecomer", input, SortAlgorithm::CfMerge);
+        let outcomes = svc.drain();
+        let by_id = |id: JobId| outcomes.iter().find(|o| o.id == id).unwrap();
+        assert!(
+            matches!(&by_id(doomed).result, Err(SortError::Shed { policy, .. }) if *policy == "deadline-aware")
+        );
+        assert!(by_id(late).result.is_ok());
+        assert_eq!(svc.counters().shed_deadline, 1);
+        assert_eq!(svc.counters().executed, 2);
+    }
+
+    #[test]
+    fn breaker_quarantines_then_probe_closes() {
+        // Cooldown shorter than one job's modeled runtime (launch
+        // overhead alone is 3µs): the job right after the trip is still
+        // inside the cooldown window and quarantines; the one after that
+        // probes and closes the breaker.
+        let mut svc = SortService::with_resilience(
+            small_rcfg(),
+            ResilienceConfig {
+                breaker: BreakerConfig { enabled: true, failure_threshold: 1, cooldown_s: 1e-6 },
+                ..ResilienceConfig::default()
+            },
+        );
+        let input = InputSpec::UniformRandom { seed: 48 }.generate(2 * 160);
+        // A sticky fault defeats every retry and forces the Thrust
+        // fallback: the output is verified but the requested config
+        // failed health-wise.
+        let poison = FaultPlan::from_sites(vec![site(
+            0,
+            0,
+            FaultKind::StuckBank { bank: 1, bit: 3 },
+            Persistence::Sticky,
+        )]);
+        svc.submit_with_faults("trip", input.clone(), SortAlgorithm::CfMerge, poison, None);
+        svc.submit("clean-1", input.clone(), SortAlgorithm::CfMerge);
+        svc.submit("clean-2", input.clone(), SortAlgorithm::CfMerge);
+        let outcomes = svc.drain();
+
+        assert!(outcomes[0].result.is_ok(), "fallback rescues the tripping job");
+        assert!(outcomes[1].quarantined, "job inside the cooldown runs quarantined");
+        let qrun = outcomes[1].result.as_ref().expect("quarantined job succeeds");
+        let mut expect = input;
+        expect.sort_unstable();
+        assert_eq!(qrun.run.output, expect);
+        // Quarantined runs use the known-good paper config: 320 keys fit
+        // one E=17,u=256 tile, so the whole sort is a single blocksort
+        // launch (the small 5/32 config would need a merge pass too).
+        assert_eq!(qrun.run.kernels.len(), 1);
+        assert_eq!(qrun.run.kernels[0].name, "blocksort");
+
+        assert!(outcomes[2].probe, "job after the cooldown probes the real config");
+        assert!(outcomes[2].result.is_ok());
+
+        let sc = svc.counters();
+        assert_eq!(sc.breaker_opens, 1);
+        assert_eq!(sc.quarantined, 1);
+        assert_eq!(sc.probes, 1);
+        assert_eq!(sc.breaker_half_opens, 1);
+        assert_eq!(sc.breaker_closes, 1);
+        let snaps = svc.breaker_snapshots();
+        assert_eq!(snaps.len(), 1);
+        assert_eq!(snaps[0].3, BreakerState::Closed);
+    }
+
+    #[test]
+    fn budget_exhaustion_degrades_to_fallback_not_retry_storms() {
+        let mut svc = SortService::with_resilience(
+            small_rcfg(),
+            ResilienceConfig {
+                retry_budget: RetryBudgetConfig::bounded(1.0),
+                ..ResilienceConfig::default()
+            },
+        );
+        let input = InputSpec::UniformRandom { seed: 49 }.generate(2 * 160);
+        let faulty = || {
+            FaultPlan::from_sites(vec![site(
+                0,
+                1,
+                FaultKind::StuckBank { bank: 0, bit: 0 },
+                Persistence::Transient,
+            )])
+        };
+        svc.submit_with_faults("first", input.clone(), SortAlgorithm::CfMerge, faulty(), None);
+        svc.submit_with_faults("second", input.clone(), SortAlgorithm::CfMerge, faulty(), None);
+        let outcomes = svc.drain();
+        // First job spends the lone token on its retry.
+        let r0 = outcomes[0].result.as_ref().expect("first recovers by retry");
+        assert_eq!(r0.report.counters.retries, 1);
+        assert_eq!(r0.report.counters.fallbacks, 0);
+        assert_eq!(outcomes[0].retries_granted, 1);
+        // Second job gets zero retries and degrades straight to the
+        // fallback — still verified sorted.
+        assert_eq!(outcomes[1].retries_granted, 0);
+        let r1 = outcomes[1].result.as_ref().expect("second rescued by fallback");
+        assert_eq!(r1.report.counters.retries, 0);
+        assert_eq!(r1.report.counters.fallbacks, 1);
+        let mut expect = input;
+        expect.sort_unstable();
+        assert_eq!(r1.run.output, expect);
+        // Both jobs were capped below their full per-job retry cap.
+        assert_eq!(svc.counters().budget_denied, 2);
+        assert_eq!(svc.budget_tokens(), Some(0.0));
+    }
+
+    #[test]
+    fn service_kill_and_resume_round_trip() {
+        let rcfg = small_rcfg();
+        let input = InputSpec::UniformRandom { seed: 50 }.generate(4 * 160 + 5);
+        let mut svc = SortService::new(rcfg.clone());
+        svc.submit("whole", input.clone(), SortAlgorithm::CfMerge);
+        let whole = svc.drain().remove(0).result.expect("whole run");
+
+        let mut svc2 = SortService::new(rcfg);
+        svc2.submit_with_policy(
+            "killed",
+            input,
+            SortAlgorithm::CfMerge,
+            FaultPlan::none(),
+            None,
+            CheckpointPolicy::kill_after(0),
+        );
+        let killed = svc2.drain().remove(0);
+        let cp = match killed.result {
+            Err(SortError::Interrupted { checkpoint, .. }) => *checkpoint,
+            other => panic!("expected Interrupted, got {other:?}"),
+        };
+        svc2.submit_resume("resumed", cp, FaultPlan::none(), None);
+        let resumed = svc2.drain().remove(0).result.expect("resume succeeds");
+        assert_eq!(resumed.run.output, whole.run.output);
+        assert_eq!(resumed.run.simulated_seconds, whole.run.simulated_seconds);
+        assert_eq!(svc2.counters().resumed, 1);
+    }
+}

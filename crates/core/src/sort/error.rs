@@ -53,6 +53,45 @@ pub enum SortError {
     },
     /// The job was cancelled before it ran.
     Cancelled,
+    /// Admission control rejected the job outright: the service's bounded
+    /// queue was full and the shed policy chose not to evict anything.
+    Overloaded {
+        /// Queue capacity that was exhausted.
+        capacity: usize,
+    },
+    /// Admission control shed this job to protect the rest of the queue
+    /// (evicted as the largest, or deadline-unreachable given the queue's
+    /// modeled cost). Shed jobs never execute — not even partially.
+    Shed {
+        /// The shed policy that fired (`reject-largest`,
+        /// `deadline-aware`).
+        policy: &'static str,
+        /// Why this particular job was chosen.
+        reason: String,
+    },
+    /// The submitted deadline is not a usable modeled time (negative,
+    /// NaN, or infinite) — rejected at submission instead of underflowing
+    /// deadline arithmetic at t = 0.
+    InvalidDeadline {
+        /// The deadline as submitted.
+        deadline_s: f64,
+    },
+    /// The run was interrupted after a completed merge pass (the modeled
+    /// kill in a chaos kill-and-resume scenario). The checkpoint carries
+    /// everything needed to resume without redoing verified passes.
+    Interrupted {
+        /// Merge passes completed before the interrupt (0 = interrupted
+        /// right after the block sort).
+        after_pass: usize,
+        /// Verified state to hand to `resume_sort_robust`.
+        checkpoint: Box<crate::resilience::checkpoint::SortCheckpoint>,
+    },
+    /// A checkpoint failed validation on resume (version skew, shape
+    /// mismatch, corrupted state, or checksum mismatch).
+    CheckpointInvalid {
+        /// Human-readable reason.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for SortError {
@@ -71,6 +110,21 @@ impl std::fmt::Display for SortError {
                 write!(f, "deadline exceeded: needed {needed_s:.6}s > deadline {deadline_s:.6}s")
             }
             SortError::Cancelled => write!(f, "job cancelled"),
+            SortError::Overloaded { capacity } => {
+                write!(f, "service overloaded: queue at capacity {capacity}")
+            }
+            SortError::Shed { policy, reason } => {
+                write!(f, "job shed by {policy} policy: {reason}")
+            }
+            SortError::InvalidDeadline { deadline_s } => {
+                write!(f, "invalid deadline: {deadline_s} modeled seconds")
+            }
+            SortError::Interrupted { after_pass, .. } => {
+                write!(f, "run interrupted after merge pass {after_pass}; checkpoint available")
+            }
+            SortError::CheckpointInvalid { reason } => {
+                write!(f, "checkpoint failed validation: {reason}")
+            }
         }
     }
 }
@@ -102,6 +156,27 @@ impl ToJson for SortError {
                 ("needed_s", Json::from(*needed_s)),
             ]),
             SortError::Cancelled => Json::obj([("kind", Json::from("cancelled"))]),
+            SortError::Overloaded { capacity } => {
+                Json::obj([("kind", Json::from("overloaded")), ("capacity", Json::from(*capacity))])
+            }
+            SortError::Shed { policy, reason } => Json::obj([
+                ("kind", Json::from("shed")),
+                ("policy", Json::from(*policy)),
+                ("reason", Json::from(reason.as_str())),
+            ]),
+            SortError::InvalidDeadline { deadline_s } => Json::obj([
+                ("kind", Json::from("invalid-deadline")),
+                ("deadline_s", Json::from(*deadline_s)),
+            ]),
+            SortError::Interrupted { after_pass, checkpoint } => Json::obj([
+                ("kind", Json::from("interrupted")),
+                ("after_pass", Json::from(*after_pass)),
+                ("checkpoint", checkpoint.to_json()),
+            ]),
+            SortError::CheckpointInvalid { reason } => Json::obj([
+                ("kind", Json::from("checkpoint-invalid")),
+                ("reason", Json::from(reason.as_str())),
+            ]),
         }
     }
 }

@@ -127,6 +127,27 @@ impl TimingModel {
             occupancy: occ,
         })
     }
+
+    /// Price an auxiliary launch — a hedged duplicate of straggling
+    /// blocks or a circuit-breaker probe — enqueued device-side while the
+    /// primary launch is still in flight. The work is priced in full by
+    /// the same formula as [`TimingModel::kernel_time`]; only the fixed
+    /// host-side launch overhead is waived, because the host never
+    /// returns between the primary and the auxiliary launch.
+    ///
+    /// # Errors
+    /// Same contract as [`TimingModel::kernel_time`].
+    pub fn auxiliary_launch_time(
+        &self,
+        dev: &Device,
+        totals: &PhaseCounters,
+        launch: &LaunchConfig,
+    ) -> Result<TimeBreakdown, &'static str> {
+        let mut t = self.kernel_time(dev, totals, launch)?;
+        t.seconds -= self.launch_overhead_s;
+        t.launch_s = 0.0;
+        Ok(t)
+    }
 }
 
 /// Priced kernel launch, with the individual model terms for reporting.
@@ -255,6 +276,20 @@ mod tests {
         let small = tm.kernel_time(&dev, &c, &launch(2, 512, 15)).unwrap();
         let big = tm.kernel_time(&dev, &c, &launch(1000, 512, 15)).unwrap();
         assert!(small.seconds > big.seconds);
+    }
+
+    #[test]
+    fn auxiliary_launch_waives_only_host_overhead() {
+        let tm = TimingModel::rtx2080ti_like();
+        let dev = Device::rtx2080ti();
+        let l = launch(100, 512, 15);
+        let c = counters(1_000_000, 1_000_000, 500_000, 1000);
+        let full = tm.kernel_time(&dev, &c, &l).unwrap();
+        let aux = tm.auxiliary_launch_time(&dev, &c, &l).unwrap();
+        assert!((full.seconds - aux.seconds - tm.launch_overhead_s).abs() < 1e-15);
+        assert_eq!(aux.launch_s, 0.0);
+        assert_eq!(aux.shared_s, full.shared_s);
+        assert_eq!(aux.global_s, full.global_s);
     }
 
     #[test]

@@ -47,8 +47,12 @@ pub mod prelude {
     pub use cfmerge_core::gather::{dual_scan_block, CfLayout, ThreadSplit};
     pub use cfmerge_core::inputs::InputSpec;
     pub use cfmerge_core::recovery::{
-        simulate_sort_robust, RecoveryCounters, RecoveryReport, RobustConfig, RobustSortRun,
-        SortService,
+        resume_sort_robust, simulate_sort_robust, simulate_sort_robust_checkpointed,
+        RecoveryCounters, RecoveryReport, RobustConfig, RobustSortRun, SortService,
+    };
+    pub use cfmerge_core::resilience::{
+        AdmissionConfig, BreakerConfig, CheckpointPolicy, HedgeConfig, ResilienceConfig,
+        RetryBudgetConfig, ServiceCounters, ShedPolicy, SortCheckpoint,
     };
     pub use cfmerge_core::sort::{
         simulate_sort, simulate_sort_keys, simulate_sort_traced, sort_pairs_stable,
