@@ -40,9 +40,14 @@ pub struct BitonicRun<K = u32> {
 
 impl<K> BitonicRun<K> {
     /// Elements per microsecond.
+    ///
+    /// # Panics
+    /// Panics if the modeled runtime is non-positive, which no simulated
+    /// run can produce (launch overhead is always charged).
     #[must_use]
     pub fn throughput(&self) -> f64 {
         cfmerge_core::metrics::elements_per_us(self.n, self.simulated_seconds)
+            .expect("a simulated run always has positive modeled runtime")
     }
 }
 

@@ -45,9 +45,14 @@ pub struct RadixRun {
 
 impl RadixRun {
     /// Elements per microsecond.
+    ///
+    /// # Panics
+    /// Panics if the modeled runtime is non-positive, which no simulated
+    /// run can produce (launch overhead is always charged).
     #[must_use]
     pub fn throughput(&self) -> f64 {
         cfmerge_core::metrics::elements_per_us(self.n, self.simulated_seconds)
+            .expect("a simulated run always has positive modeled runtime")
     }
 }
 

@@ -17,12 +17,20 @@ use cfmerge_core::metrics::speedup_summary;
 use cfmerge_core::recovery::{RecoveryCounters, RobustSortRun};
 use cfmerge_core::resilience::ServiceCounters;
 use cfmerge_core::sort::{KernelReport, SortAlgorithm, SortRun};
+use cfmerge_core::telemetry::MetricsSnapshot;
 use cfmerge_gpu_sim::device::Device;
 use cfmerge_json::{FromJson, Json, JsonError, ToJson};
 use std::path::{Path, PathBuf};
 
 /// Version of the artifact layout; bump on breaking schema changes.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// History:
+/// - **1** — initial layout: `schema_version`/`tool`/`device`/`series`/
+///   `runs`/`summaries`.
+/// - **2** — optional top-level `telemetry` [`MetricsSnapshot`]. Version-1
+///   files still parse (the field defaults to `None`); see the schema
+///   migration test in `crates/bench/tests/`.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// One fully-profiled pipeline run (as opposed to a sweep point, which
 /// keeps only the headline scalars).
@@ -138,6 +146,9 @@ pub struct RunArtifact {
     /// Tool-specific headline numbers as a free-form JSON object
     /// (speedup summaries, conflict totals, table rows).
     pub summaries: Json,
+    /// Frozen metrics from the run's telemetry registry (`None` for
+    /// tools that don't record telemetry, and for version-1 artifacts).
+    pub telemetry: Option<MetricsSnapshot>,
 }
 
 impl RunArtifact {
@@ -151,6 +162,7 @@ impl RunArtifact {
             series: Vec::new(),
             runs: Vec::new(),
             summaries: Json::Obj(Vec::new()),
+            telemetry: None,
         }
     }
 
@@ -202,14 +214,18 @@ impl RunArtifact {
 
 impl ToJson for RunArtifact {
     fn to_json(&self) -> Json {
-        Json::obj([
+        let mut pairs = vec![
             ("schema_version", Json::from(self.schema_version)),
             ("tool", Json::from(self.tool.as_str())),
             ("device", self.device.to_json()),
             ("series", self.series.to_json()),
             ("runs", self.runs.to_json()),
             ("summaries", self.summaries.clone()),
-        ])
+        ];
+        if let Some(t) = &self.telemetry {
+            pairs.push(("telemetry", t.to_json()));
+        }
+        Json::obj(pairs)
     }
 }
 
@@ -222,6 +238,7 @@ impl FromJson for RunArtifact {
             series: v.field("series")?,
             runs: v.field("runs")?,
             summaries: v.get("summaries").cloned().unwrap_or_else(|| Json::Obj(Vec::new())),
+            telemetry: v.field_opt("telemetry")?,
         })
     }
 }
@@ -256,7 +273,7 @@ fn label_sans_algo(label: &str) -> &str {
 pub fn diff_table(baseline: &RunArtifact, improved: &RunArtifact) -> String {
     let mut out = String::new();
     let mut rows: Vec<Vec<String>> = Vec::new();
-    let mut skipped: Vec<&str> = Vec::new();
+    let mut skipped: Vec<String> = Vec::new();
     for base in &baseline.series {
         let matched = improved.series.iter().find(|s| s.label == base.label).or_else(|| {
             improved
@@ -265,7 +282,7 @@ pub fn diff_table(baseline: &RunArtifact, improved: &RunArtifact) -> String {
                 .find(|s| label_sans_algo(&s.label) == label_sans_algo(&base.label))
         });
         let Some(imp) = matched else {
-            skipped.push(&base.label);
+            skipped.push(format!("no match for `{}`", base.label));
             continue;
         };
         let mut base_s = Vec::new();
@@ -277,10 +294,16 @@ pub fn diff_table(baseline: &RunArtifact, improved: &RunArtifact) -> String {
             }
         }
         if base_s.is_empty() {
-            skipped.push(&base.label);
+            skipped.push(format!("no match for `{}`", base.label));
             continue;
         }
-        let s = speedup_summary(&base_s, &imp_s);
+        let s = match speedup_summary(&base_s, &imp_s) {
+            Ok(s) => s,
+            Err(e) => {
+                skipped.push(format!("`{}`: {e}", base.label));
+                continue;
+            }
+        };
         rows.push(vec![
             base.label.clone(),
             imp.label.clone(),
@@ -313,12 +336,18 @@ pub fn diff_table(baseline: &RunArtifact, improved: &RunArtifact) -> String {
                 .collect();
         }
         if imp_runs.is_empty() {
-            skipped.push(label);
+            skipped.push(format!("no match for `{label}`"));
             continue;
         }
         let n = base_s.len().min(imp_runs.len());
         let imp_s: Vec<f64> = imp_runs[..n].iter().map(|r| r.simulated_seconds).collect();
-        let s = speedup_summary(&base_s[..n], &imp_s);
+        let s = match speedup_summary(&base_s[..n], &imp_s) {
+            Ok(s) => s,
+            Err(e) => {
+                skipped.push(format!("`{label}`: {e}"));
+                continue;
+            }
+        };
         rows.push(vec![
             label.to_string(),
             imp_runs[0].label.clone(),
@@ -336,10 +365,31 @@ pub fn diff_table(baseline: &RunArtifact, improved: &RunArtifact) -> String {
         &["baseline", "improved", "points", "speedup avg", "mean", "max"],
         &rows,
     ));
-    for label in skipped {
-        out.push_str(&format!("\n(skipped: no match for `{label}`)"));
+    for msg in skipped {
+        out.push_str(&format!("\n(skipped: {msg})"));
     }
     out
+}
+
+/// Every `dropped_conflicts` figure the artifact carries: summary entries
+/// whose object has a `dropped_conflicts` key (written by the tracing
+/// tools), as `(summary key, dropped)` rows. `None` when the artifact
+/// records no tracing at all — a zero row is meaningful (the conflict cap
+/// held), absence means nothing was traced.
+#[must_use]
+pub fn dropped_conflicts_table(artifact: &RunArtifact) -> Option<String> {
+    let Json::Obj(pairs) = &artifact.summaries else { return None };
+    let rows: Vec<Vec<String>> = pairs
+        .iter()
+        .filter_map(|(key, v)| {
+            let dropped = v.get("dropped_conflicts")?.as_u64()?;
+            Some(vec![key.clone(), dropped.to_string()])
+        })
+        .collect();
+    if rows.is_empty() {
+        return None;
+    }
+    Some(cfmerge_core::metrics::format_table(&["traced run", "dropped conflicts"], &rows))
 }
 
 /// One-artifact summary: every series with its mean throughput and total

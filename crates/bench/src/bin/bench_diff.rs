@@ -1,20 +1,28 @@
 //! Compare two run artifacts (see `artifact::RunArtifact`) into a
-//! speedup table, or summarize one.
+//! speedup table, summarize one, or gate one against a pinned baseline.
 //!
 //! Usage:
 //!
 //! ```text
 //! bench_diff BASELINE.json IMPROVED.json   # speedup table (base/improved)
 //! bench_diff ARTIFACT.json                 # one-artifact summary
+//! bench_diff --gate BASELINE.json CURRENT.json [--tol KIND=REL]...
 //! ```
 //!
 //! Series are paired by exact label first (the same tool re-run across
 //! two revisions), then by label-without-algorithm (thrust vs CF-Merge
 //! inside one artifact); points are matched by `n`.
+//!
+//! `--gate` runs the perf-regression gate: every modeled number in the
+//! pinned baseline must match the freshly regenerated artifact exactly
+//! (the simulator is deterministic), except metrics granted a relative
+//! tolerance via `--tol` (e.g. `--tol seconds=0.02`). Exits nonzero on
+//! any drift or coverage loss.
 
 use cfmerge_bench::artifact::{
-    diff_table, recovery_table, service_table, summary_table, RunArtifact,
+    diff_table, dropped_conflicts_table, recovery_table, service_table, summary_table, RunArtifact,
 };
+use cfmerge_bench::gate::{gate_artifacts, GateConfig};
 use std::path::Path;
 use std::process::ExitCode;
 
@@ -25,8 +33,62 @@ fn load(path: &str) -> Result<RunArtifact, ExitCode> {
     })
 }
 
+fn print_aux_tables(name: &str, art: &RunArtifact) {
+    if let Some(t) = recovery_table(art) {
+        println!("\n=== fault injection / recovery ({name}: {}) ===\n", art.tool);
+        println!("{t}");
+    }
+    if let Some(t) = service_table(art) {
+        println!("\n=== service resilience ({name}: {}) ===\n", art.tool);
+        println!("{t}");
+    }
+    if let Some(t) = dropped_conflicts_table(art) {
+        println!("\n=== conflict-trace retention ({name}: {}) ===\n", art.tool);
+        println!("{t}");
+    }
+}
+
+fn run_gate(args: &[String]) -> ExitCode {
+    let mut cfg = GateConfig::exact();
+    let mut paths: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--tol" {
+            let Some(spec) = it.next() else {
+                eprintln!("error: --tol needs a KIND=REL argument");
+                return ExitCode::FAILURE;
+            };
+            if let Err(e) = cfg.parse_tolerance_arg(spec) {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        } else {
+            paths.push(arg);
+        }
+    }
+    let [base, current] = paths.as_slice() else {
+        eprintln!("usage: bench_diff --gate BASELINE.json CURRENT.json [--tol KIND=REL]...");
+        return ExitCode::FAILURE;
+    };
+    let (base, current) = match (load(base), load(current)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(code), _) | (_, Err(code)) => return code,
+    };
+    println!("=== perf gate: {} (pinned) vs {} (current) ===\n", base.tool, current.tool);
+    let report = gate_artifacts(&base, &current, &cfg);
+    print!("{}", report.render());
+    if report.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().is_some_and(|a| a == "--gate") {
+        return run_gate(&args[1..]);
+    }
     match args.as_slice() {
         [one] => {
             let art = match load(one) {
@@ -46,6 +108,13 @@ fn main() -> ExitCode {
                 println!("\n=== service resilience ===\n");
                 println!("{t}");
             }
+            if let Some(t) = dropped_conflicts_table(&art) {
+                println!("\n=== conflict-trace retention ===\n");
+                println!("{t}");
+            }
+            if let Some(snap) = &art.telemetry {
+                println!("\n(telemetry: {} metrics embedded)", snap.metrics.len());
+            }
             ExitCode::SUCCESS
         }
         [base, improved] => {
@@ -56,19 +125,14 @@ fn main() -> ExitCode {
             println!("=== speedup: {} (baseline) vs {} (improved) ===\n", base.tool, improved.tool);
             println!("{}", diff_table(&base, &improved));
             for (name, art) in [("baseline", &base), ("improved", &improved)] {
-                if let Some(t) = recovery_table(art) {
-                    println!("\n=== fault injection / recovery ({name}: {}) ===\n", art.tool);
-                    println!("{t}");
-                }
-                if let Some(t) = service_table(art) {
-                    println!("\n=== service resilience ({name}: {}) ===\n", art.tool);
-                    println!("{t}");
-                }
+                print_aux_tables(name, art);
             }
             ExitCode::SUCCESS
         }
         _ => {
-            eprintln!("usage: bench_diff BASELINE.json [IMPROVED.json]");
+            eprintln!(
+                "usage: bench_diff BASELINE.json [IMPROVED.json]\n       bench_diff --gate BASELINE.json CURRENT.json [--tol KIND=REL]..."
+            );
             ExitCode::FAILURE
         }
     }

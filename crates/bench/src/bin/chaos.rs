@@ -37,6 +37,7 @@ use cfmerge_core::resilience::{
     RetryBudgetConfig, ServiceCounters, ShedPolicy,
 };
 use cfmerge_core::sort::{SortAlgorithm, SortConfig, SortError};
+use cfmerge_core::telemetry::MetricsSnapshot;
 use cfmerge_core::verify::verify_sorted_permutation;
 use cfmerge_gpu_sim::fault::{FaultKind, FaultPlan, FaultSite, FaultSpec, Persistence};
 use cfmerge_json::{Json, ToJson};
@@ -98,6 +99,7 @@ fn run_sweep() -> bool {
     let permanent_spec = FaultSpec { permanent_permille: 1000, ..recoverable_spec };
 
     let mut svc = SortService::new(cfg);
+    svc.enable_telemetry();
     let mut jobs = Vec::new();
     for algo in [SortAlgorithm::ThrustMergesort, SortAlgorithm::CfMerge] {
         for i in 0..RECOVERABLE_PLANS + PERMANENT_PLANS {
@@ -170,6 +172,9 @@ fn run_sweep() -> bool {
     art.add_summary("unrecoverable_typed", Json::from(unrecoverable_typed));
     art.add_summary("violations", Json::from(violations.len()));
     art.add_summary("service", svc.counters().to_json());
+    let snap = svc.telemetry_snapshot().expect("telemetry enabled above").with_prefix("sweep_");
+    add_latency_summary(&mut art, "sweep", &snap);
+    art.telemetry = Some(snap);
     artifact::emit(&art);
 
     if violations.is_empty() {
@@ -225,13 +230,22 @@ fn run_service() -> bool {
     let mut art = RunArtifact::new("resilience", device());
     let mut service_totals = ServiceCounters::default();
 
-    scenario_fault_storm(&mut violations, &mut art, &mut service_totals);
-    scenario_queue_overflow(&mut violations, &mut art, &mut service_totals);
-    scenario_kill_and_resume(&mut violations, &mut art, &mut service_totals);
-    scenario_straggler_storm(&mut violations, &mut art, &mut service_totals);
+    // Each scenario hands back its telemetry snapshot with a scenario
+    // prefix; the merged snapshot rides in the artifact so the perf gate
+    // pins every counter, gauge, and latency percentile of the campaign.
+    let mut telemetry = MetricsSnapshot::default();
+    for snap in [
+        scenario_fault_storm(&mut violations, &mut art, &mut service_totals),
+        scenario_queue_overflow(&mut violations, &mut art, &mut service_totals),
+        scenario_kill_and_resume(&mut violations, &mut art, &mut service_totals),
+        scenario_straggler_storm(&mut violations, &mut art, &mut service_totals),
+    ] {
+        telemetry = telemetry.merged(&snap);
+    }
 
     art.add_summary("service", service_totals.to_json());
     art.add_summary("violations", Json::from(violations.len()));
+    art.telemetry = Some(telemetry);
     artifact::emit(&art);
 
     if violations.is_empty() {
@@ -257,7 +271,7 @@ fn scenario_fault_storm(
     violations: &mut Vec<String>,
     art: &mut RunArtifact,
     totals: &mut ServiceCounters,
-) {
+) -> MetricsSnapshot {
     let params = SortParams::new(5, 32);
     let n = 4 * params.tile() + 17;
     let mut svc = SortService::with_resilience(
@@ -271,6 +285,7 @@ fn scenario_fault_storm(
             ..ResilienceConfig::default()
         },
     );
+    svc.enable_telemetry();
     let mut inputs = Vec::new();
     for i in 0..3u64 {
         let seed = BASE_SEED ^ 0x5101 ^ (i << 8);
@@ -333,6 +348,9 @@ fn scenario_fault_storm(
     );
     art.add_summary("fault_storm", svc.counters().to_json());
     totals.merge(&sc);
+    let snap = svc.telemetry_snapshot().expect("telemetry enabled").with_prefix("storm_");
+    add_latency_summary(art, "storm", &snap);
+    snap
 }
 
 /// Queue overflow under deadline pressure: a bounded queue of 8 under
@@ -342,7 +360,7 @@ fn scenario_queue_overflow(
     violations: &mut Vec<String>,
     art: &mut RunArtifact,
     totals: &mut ServiceCounters,
-) {
+) -> MetricsSnapshot {
     let params = SortParams::new(5, 32);
     let n = 2 * params.tile();
     let mut svc = SortService::with_resilience(
@@ -352,6 +370,7 @@ fn scenario_queue_overflow(
             ..ResilienceConfig::default()
         },
     );
+    svc.enable_telemetry();
     let mut inputs = Vec::new();
     for i in 0..24u64 {
         let seed = BASE_SEED ^ 0x0F10 ^ (i << 8);
@@ -405,6 +424,9 @@ fn scenario_queue_overflow(
     );
     art.add_summary("queue_overflow", svc.counters().to_json());
     totals.merge(&sc);
+    let snap = svc.telemetry_snapshot().expect("telemetry enabled").with_prefix("overflow_");
+    add_latency_summary(art, "overflow", &snap);
+    snap
 }
 
 /// Kill-and-resume: a checkpointing job is killed after its first merge
@@ -414,7 +436,7 @@ fn scenario_kill_and_resume(
     violations: &mut Vec<String>,
     art: &mut RunArtifact,
     totals: &mut ServiceCounters,
-) {
+) -> MetricsSnapshot {
     let params = SortParams::new(5, 32);
     let n = 8 * params.tile() + 3;
     let input = InputSpec::UniformRandom { seed: BASE_SEED ^ 0xCE50 }.generate(n);
@@ -425,11 +447,12 @@ fn scenario_kill_and_resume(
         Ok(run) => run,
         Err(e) => {
             violations.push(format!("resume: clean reference run failed: {e}"));
-            return;
+            return MetricsSnapshot::default();
         }
     };
 
     let mut svc = SortService::new(small_rcfg());
+    svc.enable_telemetry();
     svc.submit_with_policy(
         "resume/killed",
         input.clone(),
@@ -443,7 +466,7 @@ fn scenario_kill_and_resume(
         Err(SortError::Interrupted { after_pass: 1, checkpoint }) => *checkpoint,
         other => {
             violations.push(format!("resume: expected Interrupted after pass 1, got {other:?}"));
-            return;
+            return MetricsSnapshot::default();
         }
     };
     svc.submit_resume("resume/resumed", cp, FaultPlan::none(), None);
@@ -451,7 +474,7 @@ fn scenario_kill_and_resume(
         Ok(run) => run,
         Err(e) => {
             violations.push(format!("resume: resumed job failed: {e}"));
-            return;
+            return MetricsSnapshot::default();
         }
     };
     if resumed.run.output != whole.run.output {
@@ -476,6 +499,9 @@ fn scenario_kill_and_resume(
     art.runs.push(RunRecord::compact_from_robust_run("resume/resumed", &resumed));
     art.add_summary("kill_and_resume", svc.counters().to_json());
     totals.merge(&sc);
+    let snap = svc.telemetry_snapshot().expect("telemetry enabled").with_prefix("resume_");
+    add_latency_summary(art, "resume", &snap);
+    snap
 }
 
 /// Straggler storm: every job has one block of the block sort delayed by
@@ -486,7 +512,7 @@ fn scenario_straggler_storm(
     violations: &mut Vec<String>,
     art: &mut RunArtifact,
     totals: &mut ServiceCounters,
-) {
+) -> MetricsSnapshot {
     let params = SortParams::new(5, 32);
     let n = 8 * params.tile();
     let jobs = 6u64;
@@ -494,6 +520,7 @@ fn scenario_straggler_storm(
         let mut cfg = small_rcfg();
         cfg.hedge = hedge;
         let mut svc = SortService::new(cfg);
+        svc.enable_telemetry();
         let mut inputs = Vec::new();
         for i in 0..jobs {
             let seed = BASE_SEED ^ 0x57A6 ^ (i << 8);
@@ -560,6 +587,27 @@ fn scenario_straggler_storm(
     );
     art.add_summary("straggler_storm", hedged_svc.counters().to_json());
     totals.merge(&sc);
+    let snap =
+        hedged_svc.telemetry_snapshot().expect("telemetry enabled").with_prefix("straggler_");
+    add_latency_summary(art, "straggler", &snap);
+    snap
+}
+
+/// Surface one scenario's modeled latency percentiles in the artifact
+/// summaries (the gate pins them; humans read them in `bench_diff`).
+fn add_latency_summary(art: &mut RunArtifact, scenario: &str, snap: &MetricsSnapshot) {
+    let Some(lat) = snap.histogram(&format!("{scenario}_service_job_latency_seconds")) else {
+        return;
+    };
+    art.add_summary(
+        &format!("{scenario}_latency"),
+        Json::obj([
+            ("count", Json::from(lat.count)),
+            ("p50_s", Json::from(lat.p50 as f64 / 1e9)),
+            ("p99_s", Json::from(lat.p99 as f64 / 1e9)),
+            ("p999_s", Json::from(lat.p999 as f64 / 1e9)),
+        ]),
+    );
 }
 
 /// The campaign device (the artifact wants it; the service owns the

@@ -34,7 +34,8 @@ fn main() {
         println!("{}", series_table(&[thrust.clone(), cf.clone()]));
         let base: Vec<f64> = thrust.points.iter().map(|p| p.seconds).collect();
         let impr: Vec<f64> = cf.points.iter().map(|p| p.seconds).collect();
-        let s = speedup_summary(&base, &impr);
+        let s = speedup_summary(&base, &impr)
+            .expect("fig5 sweeps are paired, non-empty, and have positive runtimes");
         println!(
             "CF speedup over Thrust: average {:.2}, mean {:.2}, max {:.2} (paper: {})",
             s.average,

@@ -1,0 +1,63 @@
+//! Emit the unified telemetry report: a schema-v2 artifact with an
+//! embedded metrics snapshot (`metrics_report.json`), the same snapshot
+//! in Prometheus text exposition format (`metrics_report.prom`), and
+//! folded stacks for flamegraph tooling (`metrics_report.folded`).
+//!
+//! Everything is modeled time, so all three files are deterministic and
+//! diffable; the golden test in `crates/bench/tests/` pins the JSON byte
+//! for byte, and CI's perf gate diffs the artifact against the pinned
+//! copy in `results/`.
+//!
+//! Render the flamegraph with any folded-stacks tool, e.g.:
+//!
+//! ```text
+//! inferno-flamegraph results/metrics_report.folded > flame.svg
+//! ```
+
+use cfmerge_bench::artifact::{emit, RunArtifact};
+use cfmerge_bench::telemetry_report;
+
+fn main() {
+    let report = telemetry_report::build();
+
+    let dir = RunArtifact::results_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+    }
+    for (name, text) in
+        [("metrics_report.prom", &report.prometheus), ("metrics_report.folded", &report.folded)]
+    {
+        let path = dir.join(name);
+        match std::fs::write(&path, text) {
+            Ok(()) => eprintln!("telemetry: {}", path.display()),
+            Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+        }
+    }
+
+    let snap = report.artifact.telemetry.as_ref().expect("report embeds telemetry");
+    println!("=== telemetry report ===\n");
+    println!("{} metrics recorded; highlights:\n", snap.metrics.len());
+    for name in [
+        "sim_thrust_phase_merge_bank_conflicts",
+        "sim_cf_merge_phase_merge_bank_conflicts",
+        "sim_cf_merge_phase_gather_bank_conflicts",
+        "service_jobs_verified_total",
+        "service_retries_total",
+        "service_fallbacks_total",
+        "service_breaker_opens_total",
+    ] {
+        if let Some(v) = snap.get(name) {
+            println!("  {name}: {v:?}");
+        }
+    }
+    if let Some(lat) = snap.histogram("service_job_latency_seconds") {
+        println!(
+            "  service_job_latency_seconds: count {}, p50 {:.3e}s, p99 {:.3e}s, p999 {:.3e}s",
+            lat.count,
+            lat.p50 as f64 / 1e9,
+            lat.p99 as f64 / 1e9,
+            lat.p999 as f64 / 1e9
+        );
+    }
+    emit(&report.artifact);
+}

@@ -31,11 +31,13 @@ fn main() {
         let sw = speedup_summary(
             &tw.points.iter().map(|p| p.seconds).collect::<Vec<_>>(),
             &cw.points.iter().map(|p| p.seconds).collect::<Vec<_>>(),
-        );
+        )
+        .expect("worst-case sweeps are paired, non-empty, and positive");
         let sr = speedup_summary(
             &tr.points.iter().map(|p| p.seconds).collect::<Vec<_>>(),
             &cr.points.iter().map(|p| p.seconds).collect::<Vec<_>>(),
-        );
+        )
+        .expect("random sweeps are paired, non-empty, and positive");
         let cf_conflicts: u64 = cw.points.iter().chain(&cr.points).map(|p| p.merge_conflicts).sum();
         rows.push(vec![
             format!("E={},u={}", params.e, params.u),

@@ -34,6 +34,11 @@ fn main() {
             Ok(()) => eprintln!("trace: {}", path.display()),
             Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
         }
+        let folded_path = dir.join(format!("trace_fig5_{}.folded", algo.label()));
+        match std::fs::write(&folded_path, traced.trace.folded_stacks()) {
+            Ok(()) => eprintln!("folded stacks: {}", folded_path.display()),
+            Err(e) => eprintln!("warning: could not write {}: {e}", folded_path.display()),
+        }
 
         println!("=== {} ===", traced.trace.label);
         println!("{}", traced.trace.forensics().report(5));
@@ -45,6 +50,7 @@ fn main() {
             Json::obj([
                 ("trace_file", Json::from(path.display().to_string())),
                 ("conflict_rounds", Json::from(traced.trace.conflict_rounds())),
+                ("dropped_conflicts", Json::from(traced.trace.dropped_conflicts())),
                 ("merge_conflicts", Json::from(traced.run.profile.merge_bank_conflicts())),
             ]),
         );

@@ -1,0 +1,410 @@
+//! The performance-regression gate behind `bench_diff --gate`.
+//!
+//! The simulator is deterministic, so a pinned artifact in `results/` is
+//! not a noisy sample — it is the *exact* expected output of the current
+//! code. The gate exploits that: it pairs a pinned baseline artifact with
+//! a freshly regenerated one and demands every modeled number match
+//! **exactly** (tolerance `0.0`) unless a per-metric relative tolerance
+//! says otherwise. Any drift — slower *or* faster — trips the gate:
+//! slower is a regression, faster means the pinned baseline is stale and
+//! must be regenerated and reviewed.
+//!
+//! Compared, per artifact pair:
+//! * every series point's `seconds` and `merge_conflicts` (paired by
+//!   exact series label and point `n`),
+//! * every run record's `simulated_seconds` and `merge_conflicts`
+//!   (paired by label, repeats positionally),
+//! * every telemetry metric present in both snapshots (counters and
+//!   gauges by value; histograms by `count` and `sum`).
+//!
+//! A series, run, or telemetry metric present in the baseline but absent
+//! from the current artifact is a coverage regression and fails the gate.
+//! Metrics only the *current* artifact has are fine — that is how new
+//! instrumentation lands.
+
+use crate::artifact::RunArtifact;
+use cfmerge_core::telemetry::{MetricValue, MetricsSnapshot};
+
+/// Per-metric relative tolerances for [`gate_artifacts`]. Everything not
+/// named is compared exactly.
+#[derive(Debug, Clone, Default)]
+pub struct GateConfig {
+    /// `(metric kind, relative tolerance)` pairs. Kinds are the ones the
+    /// gate emits in violations: `seconds`, `merge_conflicts`, and
+    /// telemetry metric names (e.g. `service_job_latency_seconds_sum`).
+    pub tolerances: Vec<(String, f64)>,
+}
+
+impl GateConfig {
+    /// The default, fully-exact gate.
+    #[must_use]
+    pub fn exact() -> Self {
+        Self::default()
+    }
+
+    /// Set the relative tolerance for one metric kind (replacing any
+    /// earlier setting for the same kind).
+    pub fn set_tolerance(&mut self, kind: &str, rel: f64) {
+        assert!(rel >= 0.0 && rel.is_finite(), "tolerance must be a finite non-negative ratio");
+        self.tolerances.retain(|(k, _)| k != kind);
+        self.tolerances.push((kind.to_string(), rel));
+    }
+
+    /// Parse a `--tol kind=rel` argument value, e.g. `seconds=0.02`.
+    ///
+    /// # Errors
+    /// Describes the malformed argument.
+    pub fn parse_tolerance_arg(&mut self, arg: &str) -> Result<(), String> {
+        let (kind, rel) =
+            arg.split_once('=').ok_or_else(|| format!("expected KIND=REL, got `{arg}`"))?;
+        let rel: f64 = rel.parse().map_err(|e| format!("bad tolerance in `{arg}`: {e}"))?;
+        if !(rel >= 0.0 && rel.is_finite()) {
+            return Err(format!("tolerance must be finite and ≥ 0, got `{arg}`"));
+        }
+        self.set_tolerance(kind, rel);
+        Ok(())
+    }
+
+    /// Tolerance applied to metric `kind` (0.0 — exact — by default).
+    #[must_use]
+    pub fn tolerance_for(&self, kind: &str) -> f64 {
+        self.tolerances.iter().find(|(k, _)| k == kind).map_or(0.0, |(_, rel)| *rel)
+    }
+}
+
+/// One gated metric that moved beyond its tolerance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateViolation {
+    /// Where: `series/<label>/n=<n>/seconds`, `run/<label>[i]/…`, or
+    /// `telemetry/<metric>`.
+    pub metric: String,
+    /// The metric kind the tolerance was resolved under.
+    pub kind: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+    /// Tolerance that was applied.
+    pub tolerance: f64,
+}
+
+impl GateViolation {
+    /// `current/baseline − 1`; infinite when the baseline is 0.
+    #[must_use]
+    pub fn rel_change(&self) -> f64 {
+        if self.baseline == 0.0 {
+            if self.current == 0.0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            self.current / self.baseline - 1.0
+        }
+    }
+}
+
+/// What [`gate_artifacts`] found.
+#[derive(Debug, Clone, Default)]
+pub struct GateReport {
+    /// Metrics that moved beyond tolerance, in comparison order.
+    pub violations: Vec<GateViolation>,
+    /// Baseline entries with no counterpart in the current artifact
+    /// (coverage regressions — these fail the gate too).
+    pub missing: Vec<String>,
+    /// Number of metric values compared.
+    pub compared: usize,
+}
+
+impl GateReport {
+    /// The gate passes iff nothing drifted and nothing disappeared.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty() && self.missing.is_empty()
+    }
+
+    /// Human-readable verdict for the CI log.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.passed() {
+            out.push_str(&format!(
+                "perf gate PASSED: {} metrics compared, 0 drifted\n",
+                self.compared
+            ));
+            return out;
+        }
+        out.push_str(&format!(
+            "perf gate FAILED: {} of {} compared metrics drifted, {} missing\n",
+            self.violations.len(),
+            self.compared,
+            self.missing.len()
+        ));
+        for v in &self.violations {
+            out.push_str(&format!(
+                "  {}: {} -> {} ({:+.3}%, tolerance {:.3}%)\n",
+                v.metric,
+                v.baseline,
+                v.current,
+                v.rel_change() * 100.0,
+                v.tolerance * 100.0
+            ));
+        }
+        for m in &self.missing {
+            out.push_str(&format!("  missing from current artifact: {m}\n"));
+        }
+        out
+    }
+}
+
+struct Gate<'a> {
+    cfg: &'a GateConfig,
+    report: GateReport,
+}
+
+impl Gate<'_> {
+    fn check(&mut self, metric: String, kind: &str, baseline: f64, current: f64) {
+        self.report.compared += 1;
+        let tol = self.cfg.tolerance_for(kind);
+        let within =
+            if baseline == 0.0 { current == 0.0 } else { (current / baseline - 1.0).abs() <= tol };
+        if !within {
+            self.report.violations.push(GateViolation {
+                metric,
+                kind: kind.to_string(),
+                baseline,
+                current,
+                tolerance: tol,
+            });
+        }
+    }
+}
+
+/// Gate `current` against the pinned `baseline` under `cfg`.
+#[must_use]
+pub fn gate_artifacts(
+    baseline: &RunArtifact,
+    current: &RunArtifact,
+    cfg: &GateConfig,
+) -> GateReport {
+    let mut gate = Gate { cfg, report: GateReport::default() };
+
+    for base in &baseline.series {
+        let Some(cur) = current.series.iter().find(|s| s.label == base.label) else {
+            gate.report.missing.push(format!("series `{}`", base.label));
+            continue;
+        };
+        for bp in &base.points {
+            let Some(cp) = cur.points.iter().find(|p| p.n == bp.n) else {
+                gate.report.missing.push(format!("series `{}` point n={}", base.label, bp.n));
+                continue;
+            };
+            let at = format!("series/{}/n={}", base.label, bp.n);
+            gate.check(format!("{at}/seconds"), "seconds", bp.seconds, cp.seconds);
+            gate.check(
+                format!("{at}/merge_conflicts"),
+                "merge_conflicts",
+                bp.merge_conflicts as f64,
+                cp.merge_conflicts as f64,
+            );
+        }
+    }
+
+    // Repeated run labels (repeat-seed runs) pair positionally; handle
+    // each label once.
+    let mut seen: Vec<&str> = Vec::new();
+    for label in baseline.runs.iter().map(|r| r.label.as_str()) {
+        if seen.contains(&label) {
+            continue;
+        }
+        seen.push(label);
+        let base_runs: Vec<_> = baseline.runs.iter().filter(|r| r.label == label).collect();
+        let cur_runs: Vec<_> = current.runs.iter().filter(|r| r.label == label).collect();
+        if cur_runs.is_empty() {
+            gate.report.missing.push(format!("run `{label}`"));
+            continue;
+        }
+        if cur_runs.len() < base_runs.len() {
+            gate.report.missing.push(format!(
+                "run `{label}` repeats ({} baseline vs {} current)",
+                base_runs.len(),
+                cur_runs.len()
+            ));
+        }
+        for (i, (b, c)) in base_runs.iter().zip(&cur_runs).enumerate() {
+            let at = format!("run/{label}[{i}]");
+            gate.check(
+                format!("{at}/simulated_seconds"),
+                "seconds",
+                b.simulated_seconds,
+                c.simulated_seconds,
+            );
+            gate.check(
+                format!("{at}/merge_conflicts"),
+                "merge_conflicts",
+                b.merge_conflicts as f64,
+                c.merge_conflicts as f64,
+            );
+        }
+    }
+
+    match (&baseline.telemetry, &current.telemetry) {
+        (Some(base), Some(cur)) => gate_telemetry(&mut gate, base, cur),
+        (Some(_), None) => gate.report.missing.push("telemetry snapshot".into()),
+        (None, _) => {}
+    }
+
+    gate.report
+}
+
+fn gate_telemetry(gate: &mut Gate<'_>, base: &MetricsSnapshot, cur: &MetricsSnapshot) {
+    for m in &base.metrics {
+        let Some(c) = cur.get(&m.name) else {
+            gate.report.missing.push(format!("telemetry metric `{}`", m.name));
+            continue;
+        };
+        let at = format!("telemetry/{}", m.name);
+        match (&m.value, c) {
+            (MetricValue::Counter(b), MetricValue::Counter(c)) => {
+                gate.check(at.clone(), &m.name, *b as f64, *c as f64);
+            }
+            (MetricValue::Gauge(b), MetricValue::Gauge(c)) => {
+                gate.check(at.clone(), &m.name, *b, *c);
+            }
+            (MetricValue::Histogram(b), MetricValue::Histogram(c)) => {
+                let count_kind = format!("{}_count", m.name);
+                let sum_kind = format!("{}_sum", m.name);
+                gate.check(format!("{at}/count"), &count_kind, b.count as f64, c.count as f64);
+                gate.check(format!("{at}/sum"), &sum_kind, b.sum as f64, c.sum as f64);
+            }
+            _ => gate.report.missing.push(format!(
+                "telemetry metric `{}` changed kind ({} vs {})",
+                m.name,
+                m.value.kind(),
+                c.kind()
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::{Series, SweepPoint};
+    use cfmerge_core::telemetry::MetricsRegistry;
+    use cfmerge_gpu_sim::device::Device;
+
+    fn point(i: u32, n: usize, seconds: f64, conflicts: u64) -> SweepPoint {
+        SweepPoint {
+            i,
+            n,
+            seconds,
+            throughput: n as f64 / (seconds * 1e6),
+            conflicts_per_round: 0.0,
+            merge_conflicts: conflicts,
+        }
+    }
+
+    fn sample() -> RunArtifact {
+        let mut art = RunArtifact::new("gate_test", Device::rtx2080ti());
+        art.series.push(Series {
+            label: "cf-merge/worst-case/E=15,u=512".into(),
+            points: vec![point(9, 512 * 15, 1.0e-4, 0), point(10, 1024 * 15, 2.0e-4, 0)],
+        });
+        let mut reg = MetricsRegistry::new();
+        reg.inc("runs_total", 2);
+        reg.observe_seconds("run_seconds", 1.0e-4);
+        reg.observe_seconds("run_seconds", 2.0e-4);
+        art.telemetry = Some(reg.snapshot());
+        art
+    }
+
+    #[test]
+    fn identical_artifacts_pass_exactly() {
+        let art = sample();
+        let report = gate_artifacts(&art, &art, &GateConfig::exact());
+        assert!(report.passed(), "{}", report.render());
+        assert!(report.compared >= 4, "compared only {} metrics", report.compared);
+        assert!(report.render().contains("PASSED"));
+    }
+
+    #[test]
+    fn injected_regression_fails_the_gate() {
+        let base = sample();
+        let mut cur = base.clone();
+        cur.series[0].points[1].seconds *= 1.05; // 5% slower
+        let report = gate_artifacts(&base, &cur, &GateConfig::exact());
+        assert!(!report.passed());
+        assert_eq!(report.violations.len(), 1);
+        let v = &report.violations[0];
+        assert!(v.metric.ends_with("n=15360/seconds"), "{}", v.metric);
+        assert!((v.rel_change() - 0.05).abs() < 1e-9);
+        assert!(report.render().contains("FAILED"));
+
+        // A matching tolerance lets the same drift through.
+        let mut cfg = GateConfig::exact();
+        cfg.parse_tolerance_arg("seconds=0.10").unwrap();
+        assert!(gate_artifacts(&base, &cur, &cfg).passed());
+        // …but a conflict-count change stays exact under that config.
+        let mut bad = base.clone();
+        bad.series[0].points[0].merge_conflicts = 3;
+        assert!(!gate_artifacts(&base, &bad, &cfg).passed());
+    }
+
+    #[test]
+    fn missing_coverage_fails_the_gate() {
+        let base = sample();
+        let mut cur = base.clone();
+        cur.series.clear();
+        let report = gate_artifacts(&base, &cur, &GateConfig::exact());
+        assert!(!report.passed());
+        assert_eq!(report.missing.len(), 1);
+        assert!(report.render().contains("missing"));
+
+        let mut no_tel = base.clone();
+        no_tel.telemetry = None;
+        let report = gate_artifacts(&base, &no_tel, &GateConfig::exact());
+        assert!(!report.passed());
+        assert!(report.missing.iter().any(|m| m.contains("telemetry")));
+        // The reverse direction — current gained telemetry — is fine.
+        assert!(gate_artifacts(&no_tel, &base, &GateConfig::exact()).passed());
+    }
+
+    #[test]
+    fn telemetry_drift_is_gated() {
+        let base = sample();
+        let mut cur = base.clone();
+        let mut reg = MetricsRegistry::new();
+        reg.inc("runs_total", 3); // counter drifted
+        reg.observe_seconds("run_seconds", 1.0e-4);
+        reg.observe_seconds("run_seconds", 2.0e-4);
+        cur.telemetry = Some(reg.snapshot());
+        let report = gate_artifacts(&base, &cur, &GateConfig::exact());
+        assert!(!report.passed());
+        assert!(report.violations.iter().any(|v| v.metric == "telemetry/runs_total"));
+    }
+
+    #[test]
+    fn tolerance_args_validate() {
+        let mut cfg = GateConfig::exact();
+        assert!(cfg.parse_tolerance_arg("nonsense").is_err());
+        assert!(cfg.parse_tolerance_arg("seconds=abc").is_err());
+        assert!(cfg.parse_tolerance_arg("seconds=-0.5").is_err());
+        cfg.parse_tolerance_arg("seconds=0.02").unwrap();
+        cfg.parse_tolerance_arg("seconds=0.03").unwrap(); // replaces
+        assert!((cfg.tolerance_for("seconds") - 0.03).abs() < 1e-12);
+        assert_eq!(cfg.tolerance_for("merge_conflicts"), 0.0);
+    }
+
+    #[test]
+    fn pinned_fig5_artifact_gates_cleanly_against_itself() {
+        // The pinned artifact is its own baseline: the gate's pairing and
+        // exact comparison must hold on real repo data, not just
+        // fixtures.
+        let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/fig5.json");
+        let art = RunArtifact::load(&path).expect("pinned fig5 artifact loads");
+        let report = gate_artifacts(&art, &art, &GateConfig::exact());
+        assert!(report.passed(), "{}", report.render());
+        assert!(report.compared > 0);
+    }
+}

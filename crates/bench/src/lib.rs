@@ -12,19 +12,26 @@
 //! * [`artifact`] — machine-readable [`artifact::RunArtifact`] JSON every
 //!   binary writes next to its text output, plus the diff/summary helpers
 //!   behind the `bench_diff` binary.
+//! * [`gate`] — the exact-match perf-regression gate behind
+//!   `bench_diff --gate` (pinned artifact vs fresh regeneration).
+//! * [`telemetry_report`] — the deterministic telemetry-showcase run
+//!   behind the `metrics_report` binary and its golden test.
 //!
 //! Binaries: `fig5`, `fig6`, `figures` (1/2/3/4/7/8), `theorem8`,
 //! `random_conflicts`, `noncoprime_penalty`, `occupancy_table`,
 //! `speedup_summary`, `ablation`, `sort_landscape`, `scan_table`,
-//! `calibrate`, plus the observability pair `bench_diff` (artifact →
-//! speedup table) and `trace_fig5` (Perfetto trace dump).
+//! `calibrate`, plus the observability set `bench_diff` (artifact →
+//! speedup table, perf gate), `trace_fig5` (Perfetto trace dump), and
+//! `metrics_report` (metrics JSON + Prometheus + flamegraph export).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod artifact;
+pub mod gate;
 pub mod render;
 pub mod sweep;
+pub mod telemetry_report;
 
 /// Table-formatting helpers (re-exported from the core crate so binaries
 /// have one import).

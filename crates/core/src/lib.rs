@@ -21,6 +21,10 @@
 //! * [`inputs`] — workload generators for the evaluation.
 //! * [`params`] — software parameters `(E, u)` incl. the paper's presets.
 //! * [`metrics`] — throughput/speedup reporting helpers.
+//! * [`telemetry`] — the deterministic metrics subsystem: counters,
+//!   gauges, and log-bucketed latency histograms over modeled time,
+//!   with bit-stable snapshots and Prometheus export (see
+//!   `docs/TELEMETRY.md`).
 //! * [`verify`] / [`recovery`] — output verification (sortedness +
 //!   multiset checksums), block-granular re-execution under injected
 //!   faults, graceful degradation, and the batch [`recovery::SortService`]
@@ -37,5 +41,6 @@ pub mod params;
 pub mod recovery;
 pub mod resilience;
 pub mod sort;
+pub mod telemetry;
 pub mod verify;
 pub mod worst_case;

@@ -24,6 +24,7 @@ use crate::resilience::budget::{RetryBudget, RetryBudgetConfig};
 use crate::resilience::checkpoint::{CheckpointPolicy, SortCheckpoint};
 use crate::sort::pipeline::SortAlgorithm;
 use crate::sort::SortError;
+use crate::telemetry::{MetricsRegistry, MetricsSnapshot};
 
 /// Handle to a job submitted to a [`SortService`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -257,6 +258,11 @@ pub struct SortService {
     breakers: Vec<((String, usize, usize), CircuitBreaker)>,
     clock_s: f64,
     counters: ServiceCounters,
+    /// Opt-in metrics (the zero-cost-observer pattern: `None` — the
+    /// default — records nothing, and recording never feeds back into
+    /// modeled time, so enabling telemetry leaves every job outcome and
+    /// modeled second bit-identical).
+    telemetry: Option<MetricsRegistry>,
 }
 
 impl SortService {
@@ -279,6 +285,7 @@ impl SortService {
             breakers: Vec::new(),
             clock_s: 0.0,
             counters: ServiceCounters::default(),
+            telemetry: None,
         }
     }
 
@@ -286,6 +293,24 @@ impl SortService {
     #[must_use]
     pub fn counters(&self) -> &ServiceCounters {
         &self.counters
+    }
+
+    /// Switch telemetry on: from here on the service records queue depth
+    /// at admission, per-job end-to-end latency (modeled seconds),
+    /// breaker transitions, retry-budget level, and the per-job recovery
+    /// counters into a [`MetricsRegistry`]. Purely observational — job
+    /// outcomes and modeled time are unchanged.
+    pub fn enable_telemetry(&mut self) {
+        if self.telemetry.is_none() {
+            self.telemetry = Some(MetricsRegistry::new());
+        }
+    }
+
+    /// Frozen view of the telemetry recorded so far (`None` unless
+    /// [`SortService::enable_telemetry`] was called).
+    #[must_use]
+    pub fn telemetry_snapshot(&self) -> Option<MetricsSnapshot> {
+        self.telemetry.as_ref().map(MetricsRegistry::snapshot)
     }
 
     /// The modeled service clock: the sum of every executed job's
@@ -398,6 +423,7 @@ impl SortService {
                 job.pre_shed = Some(SortError::InvalidDeadline { deadline_s: d });
                 let id = job.id;
                 self.jobs.push(job);
+                self.record_admission(false);
                 return id;
             }
         }
@@ -408,12 +434,32 @@ impl SortService {
             }
             _ => {}
         }
-        if job.pre_shed.is_none() {
+        let admitted = job.pre_shed.is_none();
+        if admitted {
             self.counters.admitted += 1;
         }
         let id = job.id;
         self.jobs.push(job);
+        self.record_admission(admitted);
         id
+    }
+
+    /// Telemetry hook for one admission event: the submission counter and
+    /// the queue depth *after* the decision, both as a histogram sample
+    /// (the time series the ROADMAP's traffic-scale work wants) and as a
+    /// last-value gauge.
+    fn record_admission(&mut self, admitted: bool) {
+        if self.telemetry.is_none() {
+            return;
+        }
+        let depth = self.admitted_count() as u64;
+        let reg = self.telemetry.as_mut().expect("checked above");
+        reg.inc("service_jobs_submitted_total", 1);
+        if admitted {
+            reg.inc("service_jobs_admitted_total", 1);
+        }
+        reg.observe("service_queue_depth_at_admission", depth);
+        reg.set_gauge("service_queue_depth", depth as f64);
     }
 
     fn admitted_count(&self) -> usize {
@@ -535,16 +581,31 @@ impl SortService {
     fn tally_breaker_transitions(&mut self, key: &(String, usize, usize), from: usize) {
         let Some((_, b)) = self.breakers.iter().find(|(k, _)| k == key) else { return };
         for t in &b.transitions()[from..] {
-            match t.to {
-                BreakerState::Open => self.counters.breaker_opens += 1,
-                BreakerState::HalfOpen => self.counters.breaker_half_opens += 1,
-                BreakerState::Closed => self.counters.breaker_closes += 1,
+            let name = match t.to {
+                BreakerState::Open => {
+                    self.counters.breaker_opens += 1;
+                    "service_breaker_opens_total"
+                }
+                BreakerState::HalfOpen => {
+                    self.counters.breaker_half_opens += 1;
+                    "service_breaker_half_opens_total"
+                }
+                BreakerState::Closed => {
+                    self.counters.breaker_closes += 1;
+                    "service_breaker_closes_total"
+                }
+            };
+            if let Some(reg) = &mut self.telemetry {
+                reg.inc(name, 1);
             }
         }
     }
 
     fn execute(&mut self, job: Job) -> JobOutcome {
         if let Some(err) = job.pre_shed {
+            if let Some(reg) = &mut self.telemetry {
+                reg.inc("service_jobs_shed_total", 1);
+            }
             return JobOutcome {
                 id: job.id,
                 label: job.label,
@@ -557,6 +618,9 @@ impl SortService {
         }
         if job.cancelled {
             self.counters.cancelled += 1;
+            if let Some(reg) = &mut self.telemetry {
+                reg.inc("service_jobs_cancelled_total", 1);
+            }
             return JobOutcome {
                 id: job.id,
                 label: job.label,
@@ -666,6 +730,37 @@ impl SortService {
         match &result {
             Ok(_) => self.counters.verified_ok += 1,
             Err(_) => self.counters.failed += 1,
+        }
+
+        // Telemetry settles last, from the same values the outcome is
+        // built from — never the other way around.
+        if let Some(reg) = &mut self.telemetry {
+            reg.inc("service_jobs_executed_total", 1);
+            if quarantined {
+                reg.inc("service_quarantined_total", 1);
+            }
+            if probe {
+                reg.inc("service_probes_total", 1);
+            }
+            if granted < want {
+                reg.inc("service_budget_denied_total", 1);
+            }
+            match &result {
+                Ok(run) => {
+                    reg.inc("service_jobs_verified_total", 1);
+                    reg.observe_seconds("service_job_latency_seconds", run.run.simulated_seconds);
+                    reg.record_recovery("service", &run.report.counters);
+                }
+                Err(SortError::UnrecoverableFault { .. }) => {
+                    reg.inc("service_jobs_failed_total", 1);
+                    reg.inc("service_unrecovered_total", 1);
+                }
+                Err(_) => reg.inc("service_jobs_failed_total", 1),
+            }
+            if let Some(tokens) = self.budget.tokens() {
+                reg.set_gauge("service_retry_budget_tokens", tokens);
+            }
+            reg.set_gauge("service_clock_seconds", self.clock_s);
         }
 
         JobOutcome {
@@ -998,6 +1093,70 @@ mod tests {
         // Both jobs were capped below their full per-job retry cap.
         assert_eq!(svc.counters().budget_denied, 2);
         assert_eq!(svc.budget_tokens(), Some(0.0));
+    }
+
+    #[test]
+    fn telemetry_is_purely_observational_and_deterministic() {
+        let run_batch = |telemetry: bool| {
+            let mut svc = SortService::with_resilience(
+                small_rcfg(),
+                ResilienceConfig {
+                    retry_budget: RetryBudgetConfig::bounded(4.0),
+                    breaker: BreakerConfig {
+                        enabled: true,
+                        failure_threshold: 1,
+                        cooldown_s: 1e-6,
+                    },
+                    ..ResilienceConfig::default()
+                },
+            );
+            if telemetry {
+                svc.enable_telemetry();
+            }
+            let input = InputSpec::UniformRandom { seed: 77 }.generate(2 * 160);
+            let poison = FaultPlan::from_sites(vec![site(
+                0,
+                0,
+                FaultKind::StuckBank { bank: 1, bit: 3 },
+                Persistence::Sticky,
+            )]);
+            svc.submit_with_faults("trip", input.clone(), SortAlgorithm::CfMerge, poison, None);
+            svc.submit("clean-1", input.clone(), SortAlgorithm::CfMerge);
+            svc.submit("clean-2", input, SortAlgorithm::CfMerge);
+            let outcomes = svc.drain();
+            (svc, outcomes)
+        };
+
+        let (off, out_off) = run_batch(false);
+        let (on, out_on) = run_batch(true);
+
+        // Zero-cost observer: outcomes and modeled time are bit-identical
+        // whether telemetry is on or off.
+        assert_eq!(off.clock_s(), on.clock_s());
+        assert_eq!(off.counters(), on.counters());
+        for (a, b) in out_off.iter().zip(&out_on) {
+            assert_eq!(a.result.is_ok(), b.result.is_ok());
+            if let (Ok(ra), Ok(rb)) = (&a.result, &b.result) {
+                assert_eq!(ra.run.simulated_seconds, rb.run.simulated_seconds);
+                assert_eq!(ra.run.output, rb.run.output);
+            }
+        }
+        assert!(off.telemetry_snapshot().is_none());
+
+        // The snapshot itself is deterministic (two identical runs agree
+        // byte for byte) and reports the expected latency distribution.
+        let snap = on.telemetry_snapshot().expect("telemetry enabled");
+        let snap2 = run_batch(true).0.telemetry_snapshot().expect("telemetry enabled");
+        assert_eq!(
+            snap.to_json().to_string_pretty(),
+            snap2.to_json().to_string_pretty(),
+            "telemetry snapshots must be bit-stable"
+        );
+        let lat = snap.histogram("service_job_latency_seconds").expect("latency histogram");
+        assert_eq!(lat.count, 3, "all three jobs verified");
+        assert!(lat.p50 > 0 && lat.p50 <= lat.p99 && lat.p99 <= lat.p999);
+        assert!(snap.get("service_breaker_opens_total").is_some());
+        assert!(snap.histogram("service_queue_depth_at_admission").is_some());
     }
 
     #[test]

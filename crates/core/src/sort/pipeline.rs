@@ -139,9 +139,15 @@ pub struct SortRun<K = u32> {
 
 impl<K> SortRun<K> {
     /// Throughput in elements/µs — the y-axis of Figures 5 and 6.
+    ///
+    /// # Panics
+    /// Panics if the modeled runtime is non-positive — impossible for a
+    /// real run (every launch pays fixed overhead), so a failure here
+    /// means the run was constructed by hand with a bogus duration.
     #[must_use]
     pub fn throughput(&self) -> f64 {
         crate::metrics::elements_per_us(self.n, self.simulated_seconds)
+            .expect("a simulated run always has positive modeled runtime")
     }
 
     /// Mean bank conflicts per merge/gather round — the Karsin et al.

@@ -1,0 +1,289 @@
+//! The deterministic log-bucketed histogram behind every latency and
+//! degree distribution the telemetry layer records.
+//!
+//! HDR-style layout: values below [`LogHistogram::LINEAR_BUCKETS`] get
+//! one bucket each (exact), larger values land in power-of-two octaves
+//! subdivided into [`LogHistogram::LINEAR_BUCKETS`] linear sub-buckets,
+//! bounding the relative quantile error at `1/LINEAR_BUCKETS` ≈ 6%.
+//! Bucket boundaries are *fixed* — pure integer functions of the value,
+//! independent of the data, the platform, and the insertion order — so
+//! two runs that observe the same multiset of values serialize to
+//! byte-identical snapshots. All values are `u64`; time is recorded in
+//! integer nanoseconds of *modeled* time (see
+//! [`LogHistogram::observe_seconds`]), never wall-clock.
+
+/// A fixed-boundary log-bucketed histogram over `u64` values.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LogHistogram {
+    /// Sparse `(bucket index, count)` pairs, ascending in index.
+    buckets: Vec<(u32, u64)>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl LogHistogram {
+    /// Sub-buckets per octave; also the count of exact low-value buckets.
+    pub const LINEAR_BUCKETS: u64 = 16;
+    /// `log2(LINEAR_BUCKETS)`.
+    const LINEAR_BITS: u32 = 4;
+
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The fixed bucket index of `value` (pure integer math).
+    #[must_use]
+    pub fn bucket_index(value: u64) -> u32 {
+        if value < Self::LINEAR_BUCKETS {
+            return value as u32;
+        }
+        // Octave = floor(log2 value) ≥ LINEAR_BITS; the top LINEAR_BITS+1
+        // significant bits select the sub-bucket within the octave.
+        let octave = 63 - value.leading_zeros();
+        let sub = ((value >> (octave - Self::LINEAR_BITS)) - Self::LINEAR_BUCKETS) as u32;
+        Self::LINEAR_BUCKETS as u32 * (octave - Self::LINEAR_BITS)
+            + Self::LINEAR_BUCKETS as u32
+            + sub
+    }
+
+    /// Inclusive upper bound of bucket `index` (the value quantiles
+    /// report). Inverse of [`Self::bucket_index`] up to bucket width.
+    #[must_use]
+    pub fn bucket_upper_bound(index: u32) -> u64 {
+        let lin = Self::LINEAR_BUCKETS as u32;
+        if index < lin {
+            return u64::from(index);
+        }
+        let octave = Self::LINEAR_BITS + (index - lin) / lin;
+        let sub = u64::from((index - lin) % lin);
+        let width = 1u64 << (octave - Self::LINEAR_BITS);
+        // `+ (width - 1)` in this order: the top bucket's bound is exactly
+        // `u64::MAX`, and `base + width` alone would overflow first.
+        (Self::LINEAR_BUCKETS + sub) * width + (width - 1)
+    }
+
+    /// Record one observation.
+    pub fn observe(&mut self, value: u64) {
+        self.observe_n(value, 1);
+    }
+
+    /// Record `n` observations of `value` at once (bulk import of
+    /// pre-aggregated rounds).
+    pub fn observe_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += n;
+        // Saturating: modeled-ns observations never get close, but the
+        // histogram accepts arbitrary u64s and must not wrap.
+        self.sum = self.sum.saturating_add(value.saturating_mul(n));
+        let idx = Self::bucket_index(value);
+        match self.buckets.binary_search_by_key(&idx, |&(i, _)| i) {
+            Ok(pos) => self.buckets[pos].1 += n,
+            Err(pos) => self.buckets.insert(pos, (idx, n)),
+        }
+    }
+
+    /// Record a duration in *modeled* seconds as integer nanoseconds.
+    /// The seconds→ns conversion is a single IEEE-754 multiply-and-round,
+    /// identical on every platform, so snapshots stay bit-stable.
+    pub fn observe_seconds(&mut self, seconds: f64) {
+        debug_assert!(seconds.is_finite() && seconds >= 0.0, "bad duration {seconds}");
+        self.observe((seconds * 1e9).round() as u64);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observed values (saturating at `u64::MAX`).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observed value (0 when empty).
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        self.min
+    }
+
+    /// Largest observed value (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Sparse `(bucket index, count)` pairs, ascending in index.
+    #[must_use]
+    pub fn buckets(&self) -> &[(u32, u64)] {
+        &self.buckets
+    }
+
+    /// The value at quantile `q ∈ [0, 1]`: the upper bound of the bucket
+    /// containing the `ceil(q·count)`-th smallest observation (exact for
+    /// values below [`Self::LINEAR_BUCKETS`], ≤ ~6% high otherwise).
+    /// Returns 0 on an empty histogram.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for &(idx, n) in &self.buckets {
+            cum += n;
+            if cum >= rank {
+                // The top bucket cannot report beyond the observed max.
+                return Self::bucket_upper_bound(idx).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Fold another histogram into this one. Exact: bucket counts and the
+    /// count/sum/min/max stats all add element-wise.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        for &(idx, n) in &other.buckets {
+            match self.buckets.binary_search_by_key(&idx, |&(i, _)| i) {
+                Ok(pos) => self.buckets[pos].1 += n,
+                Err(pos) => self.buckets.insert(pos, (idx, n)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn low_values_are_exact() {
+        for v in 0..LogHistogram::LINEAR_BUCKETS {
+            let idx = LogHistogram::bucket_index(v);
+            assert_eq!(idx, v as u32);
+            assert_eq!(LogHistogram::bucket_upper_bound(idx), v);
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_invert_bucket_index() {
+        for v in [16u64, 17, 31, 32, 100, 1_000, 65_535, 1 << 40, u64::MAX] {
+            let idx = LogHistogram::bucket_index(v);
+            let ub = LogHistogram::bucket_upper_bound(idx);
+            assert!(ub >= v, "upper bound {ub} below value {v}");
+            // Relative error bounded by one sub-bucket width.
+            assert!(ub - v <= v / LogHistogram::LINEAR_BUCKETS, "bucket too wide at {v}");
+            // The bound itself maps back into the same bucket.
+            assert_eq!(LogHistogram::bucket_index(ub), idx);
+        }
+    }
+
+    #[test]
+    fn bucket_indices_are_monotone() {
+        let mut prev = 0;
+        for v in 1..100_000u64 {
+            let idx = LogHistogram::bucket_index(v);
+            assert!(idx >= prev, "index regressed at {v}");
+            prev = idx;
+        }
+    }
+
+    #[test]
+    fn quantiles_walk_cumulative_counts() {
+        let mut h = LogHistogram::new();
+        for v in 1..=100u64 {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.sum(), 5050);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 100);
+        let p50 = h.quantile(0.5);
+        let p99 = h.quantile(0.99);
+        assert!((50..=53).contains(&p50), "p50 = {p50}");
+        assert!((99..=100).contains(&p99), "p99 = {p99}");
+        assert_eq!(h.quantile(1.0), 100);
+        // p0 clamps to the first observation's bucket.
+        assert!(h.quantile(0.0) >= 1);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert!(h.buckets().is_empty());
+    }
+
+    #[test]
+    fn seconds_round_to_nanoseconds() {
+        let mut h = LogHistogram::new();
+        h.observe_seconds(1.5e-6);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), 1500);
+        h.observe_seconds(0.0);
+        assert_eq!(h.min(), 0);
+    }
+
+    #[test]
+    fn merge_is_exact_and_commutative() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        for v in [5u64, 500, 50_000] {
+            a.observe(v);
+        }
+        for v in [7u64, 700, 70_000, 7] {
+            b.observe(v);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.count(), 7);
+        assert_eq!(ab.sum(), a.sum() + b.sum());
+        assert_eq!(ab.min(), 5);
+        assert_eq!(ab.max(), 70_000);
+    }
+
+    #[test]
+    fn insertion_order_does_not_change_state() {
+        let values = [3u64, 77, 12_345, 3, 1 << 20, 77];
+        let mut a = LogHistogram::new();
+        for &v in &values {
+            a.observe(v);
+        }
+        let mut rev = values;
+        rev.reverse();
+        let mut b = LogHistogram::new();
+        for &v in &rev {
+            b.observe(v);
+        }
+        assert_eq!(a, b);
+    }
+}
