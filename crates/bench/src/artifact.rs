@@ -392,6 +392,59 @@ pub fn dropped_conflicts_table(artifact: &RunArtifact) -> Option<String> {
     Some(cfmerge_core::metrics::format_table(&["traced run", "dropped conflicts"], &rows))
 }
 
+/// Certification coverage: per-profile verdict counts from a
+/// `summaries.certificates` block (written by `kernel_cert`), plus the
+/// verdict/strategy tallies. `None` when the artifact carries no
+/// certificates summary. A rise in a profile's `refused` column relative
+/// to a pinned artifact is a *coverage loss* — the gate calls it out.
+#[must_use]
+pub fn certificates_table(artifact: &RunArtifact) -> Option<String> {
+    let certs = artifact.summaries.get("certificates")?;
+    let profiles = certs.get("profiles")?.as_arr()?;
+    let cell = |row: &Json, key: &str| {
+        row.get(key).and_then(Json::as_u64).map_or_else(|| "?".into(), |v| v.to_string())
+    };
+    let rows: Vec<Vec<String>> = profiles
+        .iter()
+        .map(|row| {
+            vec![
+                row.get("profile").and_then(Json::as_str).unwrap_or("?").to_string(),
+                cell(row, "banks"),
+                row.get("bank_word_u32s")
+                    .and_then(Json::as_u64)
+                    .map_or_else(|| "?".into(), |w| format!("{}-bit", 32 * w)),
+                cell(row, "records"),
+                cell(row, "conflict_free"),
+                cell(row, "conflicting"),
+                cell(row, "not_certifiable"),
+            ]
+        })
+        .collect();
+    let mut out = cfmerge_core::metrics::format_table(
+        &["profile", "banks", "bank row", "certs", "free", "conflicting", "refused"],
+        &rows,
+    );
+    for (key, label) in [("verdicts", "verdict"), ("strategies", "strategy")] {
+        if let Some(counts) = certs.get(key).and_then(Json::as_arr) {
+            let parts: Vec<String> = counts
+                .iter()
+                .filter_map(|c| {
+                    let name = c.get(label)?.as_str()?;
+                    let n = c.get("count")?.as_u64()?;
+                    Some(format!("{name}={n}"))
+                })
+                .collect();
+            if !parts.is_empty() {
+                out.push_str(&format!("\nby {label}: {}", parts.join(", ")));
+            }
+        }
+    }
+    if let Some(lints) = certs.get("lint_findings").and_then(Json::as_u64) {
+        out.push_str(&format!("\nlint findings: {lints}"));
+    }
+    Some(out)
+}
+
 /// One-artifact summary: every series with its mean throughput and total
 /// merge-phase conflicts.
 #[must_use]

@@ -20,7 +20,8 @@
 //! any drift or coverage loss.
 
 use cfmerge_bench::artifact::{
-    diff_table, dropped_conflicts_table, recovery_table, service_table, summary_table, RunArtifact,
+    certificates_table, diff_table, dropped_conflicts_table, recovery_table, service_table,
+    summary_table, RunArtifact,
 };
 use cfmerge_bench::gate::{gate_artifacts, GateConfig};
 use std::path::Path;
@@ -44,6 +45,10 @@ fn print_aux_tables(name: &str, art: &RunArtifact) {
     }
     if let Some(t) = dropped_conflicts_table(art) {
         println!("\n=== conflict-trace retention ({name}: {}) ===\n", art.tool);
+        println!("{t}");
+    }
+    if let Some(t) = certificates_table(art) {
+        println!("\n=== kernel certification coverage ({name}: {}) ===\n", art.tool);
         println!("{t}");
     }
 }
@@ -110,6 +115,10 @@ fn main() -> ExitCode {
             }
             if let Some(t) = dropped_conflicts_table(&art) {
                 println!("\n=== conflict-trace retention ===\n");
+                println!("{t}");
+            }
+            if let Some(t) = certificates_table(&art) {
+                println!("\n=== kernel certification coverage ===\n");
                 println!("{t}");
             }
             if let Some(snap) = &art.telemetry {

@@ -24,6 +24,7 @@
 
 use crate::artifact::RunArtifact;
 use cfmerge_core::telemetry::{MetricValue, MetricsSnapshot};
+use cfmerge_json::Json;
 
 /// Per-metric relative tolerances for [`gate_artifacts`]. Everything not
 /// named is compared exactly.
@@ -254,7 +255,55 @@ pub fn gate_artifacts(
         (None, _) => {}
     }
 
+    match (baseline.summaries.get("certificates"), current.summaries.get("certificates")) {
+        (Some(base), Some(cur)) => gate_certificates(&mut gate, base, cur),
+        (Some(_), None) => gate.report.missing.push("certificates summary".into()),
+        (None, _) => {}
+    }
+
     gate.report
+}
+
+/// Gate the certification coverage block (`summaries.certificates`): the
+/// scalar totals and every profile's verdict counts must match exactly. A
+/// profile whose `not_certifiable` count *rose* is flagged as coverage
+/// loss — lattice points that used to carry a decided verdict became
+/// `Unknown`, which is precisely the regression the fail-closed design
+/// turns into a gate failure instead of a silent optimistic answer.
+fn gate_certificates(gate: &mut Gate<'_>, base: &Json, cur: &Json) {
+    for key in ["schema", "records", "lint_findings", "failures"] {
+        match (base.get(key).and_then(Json::as_f64), cur.get(key).and_then(Json::as_f64)) {
+            (Some(b), Some(c)) => gate.check(format!("certificates/{key}"), "certificates", b, c),
+            (Some(_), None) => gate.report.missing.push(format!("certificates field `{key}`")),
+            (None, _) => {}
+        }
+    }
+    let profiles = |v: &Json| -> Vec<Json> {
+        v.get("profiles").and_then(Json::as_arr).map(<[Json]>::to_vec).unwrap_or_default()
+    };
+    let cur_rows = profiles(cur);
+    for brow in profiles(base) {
+        let Some(name) = brow.get("profile").and_then(Json::as_str) else { continue };
+        let Some(crow) =
+            cur_rows.iter().find(|r| r.get("profile").and_then(Json::as_str) == Some(name))
+        else {
+            gate.report.missing.push(format!("certificates profile `{name}`"));
+            continue;
+        };
+        for field in ["records", "conflict_free", "conflicting", "not_certifiable"] {
+            let (Some(b), Some(c)) =
+                (brow.get(field).and_then(Json::as_f64), crow.get(field).and_then(Json::as_f64))
+            else {
+                continue;
+            };
+            let metric = if field == "not_certifiable" && c > b {
+                format!("certificates/{name}/{field} [COVERAGE LOSS: newly-unknown shapes]")
+            } else {
+                format!("certificates/{name}/{field}")
+            };
+            gate.check(metric, "certificates", b, c);
+        }
+    }
 }
 
 fn gate_telemetry(gate: &mut Gate<'_>, base: &MetricsSnapshot, cur: &MetricsSnapshot) {
@@ -394,6 +443,54 @@ mod tests {
         cfg.parse_tolerance_arg("seconds=0.03").unwrap(); // replaces
         assert!((cfg.tolerance_for("seconds") - 0.03).abs() < 1e-12);
         assert_eq!(cfg.tolerance_for("merge_conflicts"), 0.0);
+    }
+
+    fn cert_summary(not_certifiable: u64) -> Json {
+        Json::obj([
+            ("schema", Json::from(1u64)),
+            ("records", Json::from(84u64)),
+            ("lint_findings", Json::from(0u64)),
+            ("failures", Json::from(0u64)),
+            (
+                "profiles",
+                Json::Arr(vec![Json::obj([
+                    ("profile", Json::from("kepler_64bit_like")),
+                    ("records", Json::from(28u64)),
+                    ("conflict_free", Json::from(20u64 - not_certifiable.min(20))),
+                    ("conflicting", Json::from(8u64)),
+                    ("not_certifiable", Json::from(not_certifiable)),
+                ])]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn certificate_drift_and_coverage_loss_fail_the_gate() {
+        let mut base = sample();
+        base.add_summary("certificates", cert_summary(0));
+        // Identical certification coverage passes.
+        let report = gate_artifacts(&base, &base, &GateConfig::exact());
+        assert!(report.passed(), "{}", report.render());
+
+        // A profile whose decided verdicts became refusals is flagged as
+        // coverage loss, not just a numeric drift.
+        let mut cur = sample();
+        cur.add_summary("certificates", cert_summary(3));
+        let report = gate_artifacts(&base, &cur, &GateConfig::exact());
+        assert!(!report.passed());
+        assert!(
+            report.violations.iter().any(|v| v.metric.contains("COVERAGE LOSS")),
+            "{}",
+            report.render()
+        );
+
+        // Dropping the certificates block entirely is missing coverage.
+        let no_cert = sample();
+        let report = gate_artifacts(&base, &no_cert, &GateConfig::exact());
+        assert!(!report.passed());
+        assert!(report.missing.iter().any(|m| m.contains("certificates")));
+        // The reverse — current gained certification — is fine.
+        assert!(gate_artifacts(&no_cert, &base, &GateConfig::exact()).passed());
     }
 
     #[test]

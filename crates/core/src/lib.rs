@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod cert;
 pub mod gather;
 pub mod inputs;
 pub mod metrics;

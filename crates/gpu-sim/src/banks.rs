@@ -9,6 +9,16 @@
 //! one is a **bank conflict**. Accesses by multiple lanes to the *same*
 //! word are broadcast and cost nothing extra (footnote 4).
 //!
+//! Bank *word width* is a device property, not a constant: Kepler-class
+//! parts (and the model analyzed by Afshani & Sitchinava, *Sorting and
+//! Permuting without Bank Conflicts on GPUs*) serve **64-bit banks**, where
+//! two adjacent 32-bit words share one bank row. [`BankModel`] carries the
+//! width as `bank_word_u32s` (1 = classic 4-byte banks, 2 = 8-byte banks):
+//! word `j` lives in bank `⌊j / bank_word_u32s⌋ mod w`, and two lanes
+//! touching *different* 32-bit words inside the same fused row are served
+//! by one transaction — so conflict structure changes qualitatively with
+//! the width, which is exactly what the certification lattice quantifies.
+//!
 //! [`BankModel::round_cost`] implements this exactly, and is the single
 //! function every conflict number in this repository flows through.
 
@@ -20,17 +30,30 @@ pub struct BankModel {
     /// Number of banks `w` (32 on all modern NVIDIA GPUs; the paper's
     /// figures use 12, 9, and 6 for legibility).
     pub num_banks: u32,
+    /// Bank row width in 32-bit words: 1 for classic 4-byte banks (the
+    /// paper's testbed), 2 for Kepler-style 8-byte banks where adjacent
+    /// word addresses fuse into one row.
+    pub bank_word_u32s: u32,
 }
 
 impl ToJson for BankModel {
     fn to_json(&self) -> Json {
-        Json::obj([("num_banks", Json::from(self.num_banks))])
+        // The width is emitted only when non-default so artifacts written
+        // before the field existed stay bit-identical.
+        let mut pairs = vec![("num_banks", Json::from(self.num_banks))];
+        if self.bank_word_u32s != 1 {
+            pairs.push(("bank_word_u32s", Json::from(self.bank_word_u32s)));
+        }
+        Json::obj(pairs)
     }
 }
 
 impl FromJson for BankModel {
     fn from_json(v: &Json) -> Result<Self, JsonError> {
-        Ok(Self { num_banks: v.field("num_banks")? })
+        Ok(Self {
+            num_banks: v.field("num_banks")?,
+            bank_word_u32s: v.field_opt("bank_word_u32s")?.unwrap_or(1),
+        })
     }
 }
 
@@ -49,14 +72,25 @@ pub struct RoundCost {
 }
 
 impl BankModel {
-    /// A model with `w` banks.
+    /// A model with `w` classic 4-byte banks.
     ///
     /// # Panics
     /// Panics if `num_banks == 0`.
     #[must_use]
     pub fn new(num_banks: u32) -> Self {
+        Self::with_word(num_banks, 1)
+    }
+
+    /// A model with `w` banks of `bank_word_u32s` 32-bit words each
+    /// (1 = 4-byte banks, 2 = Kepler-style 8-byte banks).
+    ///
+    /// # Panics
+    /// Panics if either argument is zero.
+    #[must_use]
+    pub fn with_word(num_banks: u32, bank_word_u32s: u32) -> Self {
         assert!(num_banks > 0, "a shared memory must have at least one bank");
-        Self { num_banks }
+        assert!(bank_word_u32s > 0, "a bank row must hold at least one word");
+        Self { num_banks, bank_word_u32s }
     }
 
     /// The standard NVIDIA configuration: 32 banks of 4-byte words.
@@ -65,11 +99,21 @@ impl BankModel {
         Self::new(32)
     }
 
-    /// Bank holding word address `addr` (`addr mod w`).
+    /// The fused row a word address belongs to (`⌊addr / width⌋`): the
+    /// unit of distinctness for conflict accounting. Two word addresses in
+    /// the same row are served together.
+    #[inline]
+    #[must_use]
+    pub fn row_of(&self, addr: u32) -> u32 {
+        addr / self.bank_word_u32s
+    }
+
+    /// Bank holding word address `addr` (`⌊addr / width⌋ mod w`; with the
+    /// default 4-byte banks this is the paper's `addr mod w`).
     #[inline]
     #[must_use]
     pub fn bank_of(&self, addr: u32) -> u32 {
-        addr % self.num_banks
+        self.row_of(addr) % self.num_banks
     }
 
     /// Exact cost of one lock-step access by up to `w` lanes.
@@ -77,7 +121,9 @@ impl BankModel {
     /// `addrs` holds the word addresses issued this round, one entry per
     /// *active* lane (inactive/predicated-off lanes are simply omitted).
     /// Duplicated addresses are broadcast (counted once); distinct
-    /// addresses mapping to the same bank serialize.
+    /// addresses mapping to the same bank serialize — unless they share a
+    /// fused bank row (64-bit-bank mode), in which case one transaction
+    /// serves both halves.
     ///
     /// The implementation is the hot inner loop of the whole simulator:
     /// per-bank distinct counting over at most `w` addresses using two
@@ -93,34 +139,36 @@ impl BankModel {
             "a warp round cannot issue more lanes ({}) than banks/warp width ({w})",
             addrs.len()
         );
-        // distinct[b] counts distinct words seen in bank b so far;
-        // first[b] caches the first word seen in bank b (the overwhelmingly
-        // common bank population is 0 or 1, so this resolves most lanes
-        // without touching the spill list).
+        // distinct[b] counts distinct rows seen in bank b so far; first[b]
+        // caches the first row seen in bank b (the overwhelmingly common
+        // bank population is 0 or 1, so this resolves most lanes without
+        // touching the spill list). With the default 4-byte banks a row IS
+        // the word address, so the accounting is unchanged from the paper.
         let mut distinct = [0u8; MAX_BANKS];
         let mut first = [0u32; MAX_BANKS];
-        // Spill storage for banks with ≥2 distinct words: (bank, word).
+        // Spill storage for banks with ≥2 distinct rows: (bank, row).
         let mut spill: [(u32, u32); MAX_BANKS] = [(0, 0); MAX_BANKS];
         let mut spill_len = 0usize;
         assert!(w <= MAX_BANKS, "BankModel supports at most {MAX_BANKS} banks, got {w}");
 
         let mut max_distinct = 0u8;
         for &addr in addrs {
-            let b = (addr % self.num_banks) as usize;
+            let row = addr / self.bank_word_u32s;
+            let b = (row % self.num_banks) as usize;
             let seen = match distinct[b] {
                 0 => {
-                    first[b] = addr;
+                    first[b] = row;
                     false
                 }
-                1 => first[b] == addr,
+                1 => first[b] == row,
                 _ => {
-                    first[b] == addr
-                        || spill[..spill_len].iter().any(|&(sb, sw)| sb == b as u32 && sw == addr)
+                    first[b] == row
+                        || spill[..spill_len].iter().any(|&(sb, sr)| sb == b as u32 && sr == row)
                 }
             };
             if !seen {
                 if distinct[b] >= 1 {
-                    spill[spill_len] = (b as u32, addr);
+                    spill[spill_len] = (b as u32, row);
                     spill_len += 1;
                 }
                 distinct[b] += 1;
@@ -253,5 +301,64 @@ mod tests {
     #[should_panic(expected = "at least one bank")]
     fn zero_banks_rejected() {
         let _ = BankModel::new(0);
+    }
+
+    #[test]
+    fn fused_rows_merge_adjacent_words() {
+        // 64-bit banks: words 2k and 2k+1 share a row, so a warp reading
+        // both halves of 16 rows costs one transaction.
+        let m = BankModel::with_word(32, 2);
+        let addrs: Vec<u32> = (0..32).collect();
+        assert_eq!(m.round_cost(&addrs).transactions, 1);
+        // Two words one row apart in the same bank (64 words apart)
+        // serialize exactly as in the classic model.
+        let c = m.round_cost(&[0, 64]);
+        assert_eq!(c.transactions, 2);
+        // …but the same pair under 4-byte banks also serializes, while
+        // the fused pair {0, 1} does not.
+        assert_eq!(m.round_cost(&[0, 1]).transactions, 1);
+        assert_eq!(BankModel::new(32).round_cost(&[0, 1]).transactions, 1);
+    }
+
+    #[test]
+    fn fused_stride_costs() {
+        // Even stride 2a on 64-bit banks degenerates to row stride a:
+        // exactly gcd(a, w) transactions. Odd strides visit each residue
+        // mod 2w once, so every bank holds ≤ 2 distinct rows.
+        for w in [8u32, 16, 32] {
+            let m = BankModel::with_word(w, 2);
+            for a in 1..=w {
+                let even = m.strided_cost(0, 2 * a);
+                assert_eq!(
+                    even.transactions,
+                    cfmerge_numtheory::gcd(u64::from(a), u64::from(w)) as u32,
+                    "w={w} stride={}",
+                    2 * a
+                );
+            }
+            for s in (1..2 * w).step_by(2) {
+                for base in [0, 1] {
+                    let c = m.strided_cost(base, s);
+                    assert!(c.transactions <= 2, "w={w} s={s} base={base}: {}", c.transactions);
+                }
+            }
+        }
+        // The qualitative change the Afshani–Sitchinava analysis predicts:
+        // stride 15 is conflict-free on 4-byte banks but not on 8-byte.
+        assert_eq!(BankModel::new(32).strided_cost(0, 15).transactions, 1);
+        assert_eq!(BankModel::with_word(32, 2).strided_cost(0, 15).transactions, 2);
+    }
+
+    #[test]
+    fn bank_model_json_roundtrip_defaults_width() {
+        // Default width is omitted from JSON (pre-existing artifacts stay
+        // bit-identical) and parsed back as 1.
+        let classic = BankModel::new(32);
+        assert!(!classic.to_json().to_string_pretty().contains("bank_word_u32s"));
+        assert_eq!(BankModel::from_json(&classic.to_json()).unwrap(), classic);
+        let fused = BankModel::with_word(32, 2);
+        let back = BankModel::from_json(&fused.to_json()).unwrap();
+        assert_eq!(back, fused);
+        assert_eq!(back.bank_word_u32s, 2);
     }
 }

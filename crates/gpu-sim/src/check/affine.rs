@@ -215,4 +215,145 @@ impl Pattern {
         }
         out
     }
+
+    /// A **complete** enumeration of per-warp rounds for exhaustive
+    /// certification on an arbitrary bank shape, covering every free
+    /// variable the symbolic rules would otherwise eliminate:
+    ///
+    /// * [`Pattern::Affine`] — every (warp, round) of the schedule at both
+    ///   base parities. Bank structure under a `width`-word row depends on
+    ///   the address modulo `width·w` only through `base mod width` (the
+    ///   quotient shifts all lanes' rows equally), so the two parities
+    ///   cover every base/round/warp offset for `width ≤ 2`.
+    /// * [`Pattern::GatherCf`] / [`Pattern::GatherReversal`] — every round
+    ///   at every window alignment `q₀ ∈ [0, 2w)`. The address map is
+    ///   periodic (`addr(q + w) = addr(q) + w·E`, and ρ satisfies
+    ///   `ρ(c + d·partition) = ρ(c) + w·E`), and a shift by `2w·E` moves
+    ///   all rows of a ≤ 2-word bank row equally, so `2w` consecutive
+    ///   alignments cover every window a data-dependent merge-path split
+    ///   can produce.
+    /// * [`Pattern::Reflected`] — every (warp, round); the schedule is
+    ///   static, so this is simply the whole kernel phase.
+    /// * [`Pattern::PermutedLoad`] — every boundary `a_len ∈ [0, u·E·warps]`
+    ///   contributes its crossing round, plus the two all-ascending /
+    ///   all-descending extremes contribute every round; non-crossing
+    ///   rounds of intermediate boundaries duplicate one of those two
+    ///   shapes, so nothing is missed.
+    /// * [`Pattern::DataDependent`] — no rounds (nothing is enumerable).
+    ///
+    /// The result is a superset of [`Pattern::sample_rounds`]'s
+    /// concretizations in cost structure: a worst-case transaction count
+    /// over these rounds bounds every round the real kernel can issue.
+    #[must_use]
+    pub fn exhaustive_rounds(&self, w: usize, warps: usize) -> Vec<Vec<u32>> {
+        let mut out = Vec::new();
+        match *self {
+            Pattern::Affine { form, rounds } => {
+                for parity in 0..2i64 {
+                    for v in 0..warps {
+                        for t in 0..rounds {
+                            out.push(
+                                (0..w)
+                                    .map(|k| {
+                                        let a = form.addr(v * w + k, t) + parity;
+                                        assert!(a >= 0, "affine enumeration went negative");
+                                        a as u32
+                                    })
+                                    .collect(),
+                            );
+                        }
+                    }
+                }
+            }
+            Pattern::GatherCf { e } => {
+                let d = gcd(w as u64, e as u64) as usize;
+                let partition = w * e / d;
+                for q0 in 0..2 * w {
+                    for j in 0..e {
+                        out.push(
+                            (q0..q0 + w).map(|q| rho(q * e + j, partition, d) as u32).collect(),
+                        );
+                    }
+                }
+            }
+            Pattern::GatherReversal { e } => {
+                for q0 in 0..2 * w {
+                    for j in 0..e {
+                        out.push((q0..q0 + w).map(|q| (q * e + j) as u32).collect());
+                    }
+                }
+            }
+            Pattern::Reflected { .. } => {
+                out = self.sample_rounds(w, warps);
+            }
+            Pattern::PermutedLoad { e } => {
+                let u = warps * w;
+                let total = u * e;
+                let round = |a_len: usize, s0: usize| -> Vec<u32> {
+                    (0..w)
+                        .map(|k| {
+                            let s = s0 + k;
+                            if s < a_len {
+                                s as u32
+                            } else {
+                                (total - 1 - (s - a_len)) as u32
+                            }
+                        })
+                        .collect()
+                };
+                // The two pure extremes: every round all-ascending and
+                // all-descending.
+                for r in 0..e {
+                    for v in 0..warps {
+                        let s0 = r * u + v * w;
+                        out.push(round(total, s0));
+                        out.push(round(0, s0));
+                    }
+                }
+                // Every interior boundary's crossing round (the only round
+                // that differs from the extremes).
+                for a_len in 1..total {
+                    let s0 = (a_len - 1) / w * w;
+                    debug_assert!(s0 < a_len && a_len < s0 + w || a_len == s0 + w);
+                    if a_len < s0 + w {
+                        out.push(round(a_len, s0));
+                    }
+                }
+            }
+            Pattern::DataDependent(_) => {}
+        }
+        out
+    }
+
+    /// The exact set of shared words the schedule can touch, sorted and
+    /// deduplicated, or `None` when the addresses are data-dependent
+    /// (bounded only by the tile). The strided/permuted schedules all
+    /// cover their ranges exactly, which is what the static lint pass
+    /// checks capacity, overlap, and initialization against.
+    #[must_use]
+    pub fn footprint_words(&self, w: usize, warps: usize) -> Option<Vec<u32>> {
+        match *self {
+            Pattern::Affine { form, rounds } => {
+                let mut words: Vec<u32> = (0..warps * w)
+                    .flat_map(|tid| {
+                        (0..rounds).map(move |t| {
+                            let a = form.addr(tid, t);
+                            assert!(a >= 0, "affine footprint went negative");
+                            a as u32
+                        })
+                    })
+                    .collect();
+                words.sort_unstable();
+                words.dedup();
+                Some(words)
+            }
+            // ρ, the reversal layout, the reflection, and the boundary
+            // permutation are all bijections on the tile.
+            Pattern::GatherCf { e }
+            | Pattern::GatherReversal { e }
+            | Pattern::Reflected { e, .. }
+            | Pattern::PermutedLoad { e } => Some((0..(warps * w * e) as u32).collect()),
+            Pattern::DataDependent(_) => None,
+        }
+    }
 }

@@ -22,12 +22,16 @@
 //! exactly the code they ran before this module existed.
 
 mod affine;
+mod lint;
 mod prover;
 mod sanitizer;
+mod shape;
 
 pub use affine::{AffineForm, Pattern};
-pub use prover::{cross_validate, prove, Certificate, Verdict};
+pub use lint::{lint_phases, Access, LintFinding, PhaseIr};
+pub use prover::{cross_validate, cross_validate_on, prove, prove_on, Certificate, Verdict};
 pub use sanitizer::{Finding, Hazard, Sanitizer};
+pub use shape::BankShape;
 
 use crate::profiler::PhaseClass;
 

@@ -7,6 +7,7 @@
 //! is fed. See `docs/ANALYSIS.md` for the proofs the certificates cite.
 
 use super::affine::{rho, Pattern};
+use super::shape::BankShape;
 use crate::banks::BankModel;
 use cfmerge_numtheory::{corollary17_holds, corollary18_holds, gcd};
 
@@ -71,6 +72,87 @@ pub fn prove(pattern: &Pattern, w: usize) -> Verdict {
         Pattern::Reflected { e, run_w, warps } => prove_reflected(e, run_w, warps, w),
         Pattern::PermutedLoad { e } => prove_permuted_load(e, w),
         Pattern::DataDependent(why) => Verdict::NotCertifiable { reason: why.to_string() },
+    }
+}
+
+/// Certify `pattern` on an explicit device [`BankShape`], for all
+/// lane/round/input values and `warps` resident warps.
+///
+/// * Shapes **outside the supported lattice** (degenerate or oversized
+///   bank counts, row widths other than 32/64-bit) get a fail-closed
+///   [`Verdict::NotCertifiable`] — never an optimistic answer.
+/// * 32-bit rows delegate to the symbolic rules of [`prove`].
+/// * 64-bit rows (Kepler's `cudaSharedMemBankSizeEightByte`, the mode
+///   Afshani & Sitchinava analyze) are decided by **complete enumeration**
+///   of [`Pattern::exhaustive_rounds`]: every free variable a symbolic
+///   rule would eliminate (base parity, window alignment, merge boundary)
+///   is finite once addresses are reduced modulo the fused row structure,
+///   so the evaluation is exact, not sampled.
+#[must_use]
+pub fn prove_on(pattern: &Pattern, shape: BankShape, warps: usize) -> Verdict {
+    if !shape.supported() {
+        return Verdict::NotCertifiable {
+            reason: format!(
+                "device shape {} is outside the supported lattice (1 ≤ banks ≤ {}, 32/64-bit \
+                 rows) — failing closed",
+                shape.label(),
+                crate::banks::MAX_BANKS
+            ),
+        };
+    }
+    if shape.word_u32s == 1 {
+        return prove(pattern, shape.banks);
+    }
+    match *pattern {
+        Pattern::DataDependent(why) => Verdict::NotCertifiable { reason: why.to_string() },
+        Pattern::PermutedLoad { e } if gcd(e as u64, shape.banks as u64) != 1 => {
+            Verdict::NotCertifiable {
+                reason: format!(
+                    "d = gcd({e}, {}) > 1: the permuting load's layout applies ρ on top of \
+                     the split schedule, which the IR models only for d = 1",
+                    shape.banks
+                ),
+            }
+        }
+        _ => prove_fused_exhaustive(pattern, shape, warps),
+    }
+}
+
+/// Exact evaluation of a schedule's complete round enumeration under a
+/// fused (64-bit) bank row. Soundness rests on the coverage lemmas
+/// documented on [`Pattern::exhaustive_rounds`]: base parity for affine
+/// schedules (a base shift of 2 moves all rows equally), window alignment
+/// mod `2w` for the gathers (`ρ(c + d·partition) = ρ(c) + w·E`), and the
+/// two extremes plus every crossing round for the boundary permutation.
+fn prove_fused_exhaustive(pattern: &Pattern, shape: BankShape, warps: usize) -> Verdict {
+    let rule = match pattern {
+        Pattern::Affine { .. } => "fused-affine-parity",
+        Pattern::GatherCf { .. } | Pattern::GatherReversal { .. } => "fused-window-exhaustive",
+        Pattern::Reflected { .. } => "fused-static-exhaustive",
+        Pattern::PermutedLoad { .. } => "fused-boundary-exhaustive",
+        Pattern::DataDependent(_) => unreachable!("handled by prove_on"),
+    };
+    let rounds = pattern.exhaustive_rounds(shape.banks, warps);
+    if rounds.is_empty() {
+        return Verdict::NotCertifiable {
+            reason: format!("{rule}: schedule has no enumerable rounds"),
+        };
+    }
+    let model = shape.bank_model();
+    let mut worst = 0u32;
+    for round in &rounds {
+        worst = worst.max(model.round_cost(round).transactions);
+    }
+    let detail = format!(
+        "complete enumeration of {} rounds on {} (free variables reduced to a finite cover \
+         by parity/alignment/boundary lemmas); worst round = {worst} transaction(s)",
+        rounds.len(),
+        shape.label()
+    );
+    if worst <= 1 {
+        Verdict::ConflictFree(Certificate { rule, detail })
+    } else {
+        Verdict::Conflicting { transactions: worst, certificate: Certificate { rule, detail } }
     }
 }
 
@@ -294,6 +376,82 @@ pub fn cross_validate(
     Ok(())
 }
 
+/// Cross-validate a device-parametric verdict against the shape's own
+/// [`BankModel`] on the pattern's sampled concretizations.
+///
+/// A [`Verdict::ConflictFree`] must never be contradicted by a sampled
+/// round. A [`Verdict::Conflicting`] claim is an exact worst case over the
+/// *complete* schedule, so sampling must observe `worst ≤ claimed`; exact
+/// equality is additionally required for fully static patterns
+/// ([`Pattern::Affine`], [`Pattern::Reflected`]) whose samples already
+/// enumerate every round — but not for the alignment/boundary-dependent
+/// patterns, whose samples fix one data-dependent choice.
+///
+/// # Errors
+/// Returns a description of the first disagreement found.
+pub fn cross_validate_on(
+    pattern: &Pattern,
+    verdict: &Verdict,
+    shape: BankShape,
+    warps: usize,
+) -> Result<(), String> {
+    if !shape.supported() {
+        return match verdict {
+            Verdict::NotCertifiable { .. } => Ok(()),
+            v => Err(format!(
+                "unsupported shape {} must fail closed, got {}",
+                shape.label(),
+                v.summary()
+            )),
+        };
+    }
+    let rounds = pattern.sample_rounds(shape.banks, warps);
+    let model = shape.bank_model();
+    let mut worst = 0u32;
+    for (i, round) in rounds.iter().enumerate() {
+        let t = model.round_cost(round).transactions;
+        if matches!(verdict, Verdict::ConflictFree(_)) && t > 1 {
+            return Err(format!(
+                "certified conflict-free on {}, but sampled round {i} costs {t} transactions \
+                 (addrs {round:?})",
+                shape.label()
+            ));
+        }
+        worst = worst.max(t);
+    }
+    if let Verdict::Conflicting { transactions, .. } = verdict {
+        if rounds.is_empty() {
+            return Err("conflicting verdict but the pattern yields no sample rounds".into());
+        }
+        if worst > *transactions {
+            return Err(format!(
+                "verdict claims {transactions} transactions on {}, sampling observed {worst}",
+                shape.label()
+            ));
+        }
+        // Exact equality is demanded only where the sample enumerates the
+        // same set the verdict was proved over: the reflected writeback
+        // (static, width-independent enumeration) and affine schedules on
+        // 32-bit rows. The fused affine rule quantifies over both base
+        // parities — a sound superset of the one parity the sample
+        // realizes — and the gather/boundary patterns fix one
+        // data-dependent choice per sample.
+        let requires_exact = match pattern {
+            Pattern::Reflected { .. } => true,
+            Pattern::Affine { .. } => shape.word_u32s == 1,
+            _ => false,
+        };
+        if requires_exact && worst != *transactions {
+            return Err(format!(
+                "static schedule claims exactly {transactions} transactions on {}, complete \
+                 sample observed {worst}",
+                shape.label()
+            ));
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -395,6 +553,118 @@ mod tests {
         match prove(&Pattern::DataDependent("serial merge"), 32) {
             Verdict::NotCertifiable { reason } => assert!(reason.contains("serial merge")),
             v => panic!("unexpected {}", v.summary()),
+        }
+    }
+
+    #[test]
+    fn prove_on_word32_agrees_with_point_prover() {
+        let shape = BankShape::word32(32);
+        for p in [
+            affine(15, 4),
+            affine(16, 4),
+            Pattern::GatherCf { e: 15 },
+            Pattern::GatherReversal { e: 16 },
+            Pattern::Reflected { e: 15, run_w: 30, warps: 4 },
+            Pattern::PermutedLoad { e: 17 },
+            Pattern::DataDependent("serial merge"),
+        ] {
+            assert_eq!(prove_on(&p, shape, 4).summary(), prove(&p, 32).summary());
+        }
+    }
+
+    #[test]
+    fn prove_on_unsupported_shape_fails_closed() {
+        for shape in [
+            BankShape::word32(0),
+            BankShape::word32(crate::banks::MAX_BANKS + 1),
+            BankShape { banks: 32, word_u32s: 4 },
+        ] {
+            let v = prove_on(&affine(1, 2), shape, 2);
+            match &v {
+                Verdict::NotCertifiable { reason } => {
+                    assert!(reason.contains("failing closed"), "{reason}");
+                }
+                other => panic!("expected refusal, got {}", other.summary()),
+            }
+            cross_validate_on(&affine(1, 2), &v, shape, 2).unwrap();
+        }
+    }
+
+    #[test]
+    fn fused_affine_even_stride_matches_gcd_of_half() {
+        // On 64-bit rows an even stride 2a walks rows with stride a, so
+        // the degree is gcd(a, w); the exhaustive rule must agree with
+        // this independent analysis.
+        let shape = BankShape::word64(32);
+        for (lane, expect) in [(2i64, 1u32), (30, 1), (4, 2), (16, 8), (64, 32)] {
+            let p = affine(lane, 4);
+            let v = prove_on(&p, shape, 4);
+            match &v {
+                Verdict::ConflictFree(c) => {
+                    assert_eq!(expect, 1, "stride {lane}: {}", c.rule);
+                }
+                Verdict::Conflicting { transactions, .. } => {
+                    assert_eq!(*transactions, expect, "stride {lane}");
+                }
+                other => panic!("stride {lane}: {}", other.summary()),
+            }
+            cross_validate_on(&p, &v, shape, 4).unwrap();
+        }
+    }
+
+    #[test]
+    fn fused_odd_strides_bounded_by_two() {
+        // Odd strides keep addresses distinct mod 2w, so each bank serves
+        // at most 2 distinct fused rows: the paper's coprime strides lose
+        // conflict-freedom on 64-bit banks but stay within degree 2.
+        let shape = BankShape::word64(32);
+        for lane in [1i64, 5, 15, 17, 31] {
+            let p = affine(lane, 4);
+            let v = prove_on(&p, shape, 4);
+            match &v {
+                Verdict::ConflictFree(_) => {}
+                Verdict::Conflicting { transactions, .. } => {
+                    assert!(*transactions <= 2, "stride {lane}: degree {transactions}");
+                }
+                other => panic!("stride {lane}: {}", other.summary()),
+            }
+            cross_validate_on(&p, &v, shape, 4).unwrap();
+        }
+        // Unit stride pairs lanes into shared rows: still conflict-free.
+        assert!(prove_on(&affine(1, 4), shape, 4).is_conflict_free());
+    }
+
+    #[test]
+    fn fused_gather_and_boundary_patterns_cross_validate() {
+        let shape = BankShape::word64(32);
+        for p in [
+            Pattern::GatherCf { e: 15 },
+            Pattern::GatherCf { e: 16 },
+            Pattern::GatherReversal { e: 15 },
+            Pattern::Reflected { e: 15, run_w: 30, warps: 4 },
+            Pattern::PermutedLoad { e: 15 },
+            Pattern::PermutedLoad { e: 17 },
+        ] {
+            let v = prove_on(&p, shape, 4);
+            assert!(
+                !matches!(v, Verdict::NotCertifiable { .. }),
+                "{p:?} should be decidable on {}: {}",
+                shape.label(),
+                v.summary()
+            );
+            if let Verdict::Conflicting { transactions, .. } = &v {
+                assert!(*transactions <= 32, "{p:?}: degree {transactions}");
+            }
+            cross_validate_on(&p, &v, shape, 4).unwrap();
+        }
+        // The permuting load's unit-stride pieces pair adjacent lanes
+        // into shared 64-bit rows: degree stays ≤ 2 for every boundary.
+        for e in [15, 17] {
+            match prove_on(&Pattern::PermutedLoad { e }, shape, 4) {
+                Verdict::ConflictFree(_) => {}
+                Verdict::Conflicting { transactions, .. } => assert!(transactions <= 2),
+                v => panic!("E={e}: {}", v.summary()),
+            }
         }
     }
 }

@@ -30,6 +30,10 @@ pub struct Device {
     /// Shared memory per SM in bytes (as configured; Turing allows
     /// 32 KiB L1 + 64 KiB shared, the split the paper uses).
     pub shared_per_sm: u32,
+    /// Shared-memory bank row width in 32-bit words: 1 on Turing/Ampere
+    /// (4-byte banks), 2 on Kepler-class parts configured for 8-byte
+    /// banks (`cudaSharedMemBankSizeEightByte`).
+    pub bank_word_u32s: u32,
     /// 32-bit registers per SM.
     pub regfile_per_sm: u32,
     /// Maximum registers per thread.
@@ -53,6 +57,7 @@ impl Device {
             shared_per_sm: 64 * 1024,
             regfile_per_sm: 64 * 1024,
             max_regs_per_thread: 255,
+            bank_word_u32s: 1,
         }
     }
 
@@ -74,6 +79,33 @@ impl Device {
             shared_per_sm: 164 * 1024,
             regfile_per_sm: 64 * 1024,
             max_regs_per_thread: 255,
+            bank_word_u32s: 1,
+        }
+    }
+
+    /// A Kepler-class part in its 8-byte shared-memory bank mode
+    /// (`cudaSharedMemBankSizeEightByte`): the configuration Afshani &
+    /// Sitchinava analyze, where adjacent 32-bit words fuse into one
+    /// 64-bit bank row and the conflict structure of every kernel changes
+    /// qualitatively. Resources are K80/GK210-like (generous shared
+    /// carve-out) so the paper's launch configs remain occupiable and the
+    /// certification lattice exercises the width axis, not a resource
+    /// limit.
+    #[must_use]
+    pub fn kepler_64bit_like() -> Self {
+        Self {
+            name: "NVIDIA Kepler-class, 64-bit banks (simulated)".into(),
+            sm_count: 13,
+            clock_hz: 0.875e9,
+            mem_bandwidth: 240e9,
+            warp_width: 32,
+            max_threads_per_sm: 2048,
+            max_warps_per_sm: 64,
+            max_blocks_per_sm: 16,
+            shared_per_sm: 112 * 1024,
+            regfile_per_sm: 128 * 1024,
+            max_regs_per_thread: 255,
+            bank_word_u32s: 2,
         }
     }
 
@@ -94,19 +126,20 @@ impl Device {
             shared_per_sm: 64 * 1024,
             regfile_per_sm: 64 * 1024,
             max_regs_per_thread: 255,
+            bank_word_u32s: 1,
         }
     }
 
-    /// Bank model implied by this device.
+    /// Bank model implied by this device (bank count and row width).
     #[must_use]
     pub fn bank_model(&self) -> BankModel {
-        BankModel::new(self.warp_width)
+        BankModel::with_word(self.warp_width, self.bank_word_u32s)
     }
 }
 
 impl ToJson for Device {
     fn to_json(&self) -> Json {
-        Json::obj([
+        let mut pairs = vec![
             ("name", Json::from(self.name.as_str())),
             ("sm_count", Json::from(self.sm_count)),
             ("clock_hz", Json::from(self.clock_hz)),
@@ -118,7 +151,13 @@ impl ToJson for Device {
             ("shared_per_sm", Json::from(self.shared_per_sm)),
             ("regfile_per_sm", Json::from(self.regfile_per_sm)),
             ("max_regs_per_thread", Json::from(self.max_regs_per_thread)),
-        ])
+        ];
+        // Emitted only in 64-bit-bank mode so every artifact written
+        // before the field existed stays bit-identical.
+        if self.bank_word_u32s != 1 {
+            pairs.push(("bank_word_u32s", Json::from(self.bank_word_u32s)));
+        }
+        Json::obj(pairs)
     }
 }
 
@@ -136,6 +175,7 @@ impl FromJson for Device {
             shared_per_sm: v.field("shared_per_sm")?,
             regfile_per_sm: v.field("regfile_per_sm")?,
             max_regs_per_thread: v.field("max_regs_per_thread")?,
+            bank_word_u32s: v.field_opt("bank_word_u32s")?.unwrap_or(1),
         })
     }
 }
@@ -158,6 +198,29 @@ mod tests {
         let d = Device::toy(12);
         assert_eq!(d.warp_width, 12);
         assert_eq!(d.max_threads_per_sm % d.warp_width, 0);
+    }
+
+    #[test]
+    fn kepler_64bit_mode_fuses_banks() {
+        let d = Device::kepler_64bit_like();
+        assert_eq!(d.bank_word_u32s, 2);
+        let m = d.bank_model();
+        assert_eq!(m.num_banks, 32);
+        assert_eq!(m.bank_word_u32s, 2);
+        // Words 0 and 1 share a 64-bit row; words 0 and 64 conflict.
+        assert_eq!(m.bank_of(0), m.bank_of(1));
+        assert_eq!(m.round_cost(&[0, 64]).transactions, 2);
+    }
+
+    #[test]
+    fn device_json_omits_default_bank_word() {
+        let turing = Device::rtx2080ti();
+        assert!(!turing.to_json().to_string_pretty().contains("bank_word_u32s"));
+        assert_eq!(Device::from_json(&turing.to_json()).unwrap(), turing);
+        let kepler = Device::kepler_64bit_like();
+        let back = Device::from_json(&kepler.to_json()).unwrap();
+        assert_eq!(back, kepler);
+        assert_eq!(back.bank_word_u32s, 2);
     }
 
     #[test]

@@ -66,7 +66,7 @@ pub mod trace;
 
 pub use banks::{BankModel, RoundCost};
 pub use block::{BlockSim, LaneCtx};
-pub use check::{MemCheck, NoCheck, Sanitizer};
+pub use check::{BankShape, MemCheck, NoCheck, Sanitizer};
 pub use device::Device;
 pub use fault::{
     BlockFaults, FaultInjector, FaultKind, FaultPlan, FaultSite, FaultSpec, FaultWord,

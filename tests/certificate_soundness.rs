@@ -1,0 +1,86 @@
+//! Certificate soundness as a property: for random points of the
+//! supported `(E, u, bank-word)` lattice, a `ConflictFree` verdict from
+//! the shape-parametric prover must mean every concretized round costs
+//! exactly one transaction under that shape's [`BankModel`], and a
+//! `Conflicting { transactions: k }` verdict must bound every round by
+//! `k`. This holds the symbolic layer (`prove_on` over the address-
+//! schedule IR) to the ground-truth cost model the simulator charges —
+//! if a fused-exhaustive rule ever under-enumerates its concretizations,
+//! this suite finds the witness round.
+
+use cfmerge::core::analysis::kernel_registry_on;
+use cfmerge::core::sort::SortAlgorithm;
+use cfmerge::gpu_sim::check::{prove_on, BankShape, Verdict};
+use proptest::prelude::*;
+
+/// Random supported bank shape: always 32 banks (the warp width the
+/// pipelines are written for) with a 32- or 64-bit bank word.
+fn shape_strategy() -> impl Strategy<Value = BankShape> {
+    (1u32..=2).prop_map(|word| BankShape { banks: 32, word_u32s: word })
+}
+
+/// Random `(E, u)` inside the paper's constraint set: `E ≤ w`, `u` a
+/// power-of-two multiple of `w`, tile small enough to test fast.
+fn params_strategy() -> impl Strategy<Value = (usize, usize)> {
+    (2usize..=32, 0u32..=2).prop_map(|(e, shift)| (e, 32usize << shift))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// CF verdict ⇒ simulated round cost equals the conflict-free
+    /// baseline (1 transaction) on *every* round the pattern can
+    /// realize; Conflicting{k} ⇒ no realizable round exceeds k.
+    #[test]
+    fn prop_verdicts_bound_every_concretized_round(
+        shape in shape_strategy(),
+        (e, u) in params_strategy(),
+        algo_pick in 0u32..=1,
+    ) {
+        let algo =
+            if algo_pick == 0 { SortAlgorithm::ThrustMergesort } else { SortAlgorithm::CfMerge };
+        let warps = u / shape.banks;
+        let model = shape.bank_model();
+        for spec in kernel_registry_on(algo, shape, e, u) {
+            let verdict = prove_on(&spec.pattern, shape, warps);
+            let bound = match &verdict {
+                Verdict::ConflictFree(_) => 1,
+                Verdict::Conflicting { transactions, .. } => *transactions,
+                Verdict::NotCertifiable { .. } => continue,
+            };
+            // The exhaustive concretization set is the prover's own
+            // evidence; every sampled round is contained in it, so
+            // checking it checks both.
+            let rounds = spec.pattern.exhaustive_rounds(shape.banks, warps);
+            prop_assert!(!rounds.is_empty(), "decided verdicts rest on evidence");
+            for round in &rounds {
+                let cost = model.round_cost(round).transactions;
+                prop_assert!(
+                    cost <= bound,
+                    "{}/{} on {}: verdict claims ≤{bound} but round {round:?} costs {cost}",
+                    spec.kernel, spec.phase, shape.label()
+                );
+            }
+        }
+    }
+
+    /// Unsupported shapes never yield a decided verdict — the lattice
+    /// boundary fails closed for *any* pattern in the registry.
+    #[test]
+    fn prop_unsupported_shapes_fail_closed(
+        (e, u) in params_strategy(),
+        word in 3u32..=8,
+    ) {
+        let bad = BankShape { banks: 32, word_u32s: word };
+        prop_assert!(!bad.supported());
+        let warps = u / bad.banks;
+        for spec in kernel_registry_on(SortAlgorithm::CfMerge, BankShape::word32(32), e, u) {
+            let verdict = prove_on(&spec.pattern, bad, warps);
+            prop_assert!(
+                matches!(verdict, Verdict::NotCertifiable { .. }),
+                "{}/{}: shape outside the lattice must refuse, got {:?}",
+                spec.kernel, spec.phase, verdict
+            );
+        }
+    }
+}

@@ -3,9 +3,12 @@
 //! very different device (A100-class Ampere), not just the paper's
 //! RTX 2080 Ti.
 
+use cfmerge::core::analysis::check_registry_on;
+use cfmerge::core::cert::device_profiles;
 use cfmerge::core::inputs::InputSpec;
 use cfmerge::core::params::SortParams;
 use cfmerge::core::sort::{simulate_sort, SortAlgorithm, SortConfig};
+use cfmerge::gpu_sim::check::BankShape;
 use cfmerge::gpu_sim::device::Device;
 use cfmerge::gpu_sim::occupancy::{mergesort_regs_estimate, occupancy, BlockResources};
 use cfmerge::gpu_sim::timing::TimingModel;
@@ -44,6 +47,84 @@ fn conclusions_hold_on_ampere_class_device() {
     let ratio = cw.simulated_seconds / cr.simulated_seconds;
     assert!((0.9..1.1).contains(&ratio), "CF worst/random on Ampere: {ratio}");
     assert_eq!(tw.output, cw.output);
+}
+
+#[test]
+fn worst_case_immunity_does_not_transfer_to_fused_64bit_banks() {
+    // The paper's conflict-freedom proof is for `w` banks of one 32-bit
+    // word each. On a Kepler-style device whose banks fuse adjacent
+    // words into 64-bit rows, the coprime layout's guarantee *changes
+    // qualitatively* — and the simulator, the prover, and the registry
+    // must all agree on that, rather than exporting the w=32 conclusion
+    // to a shape it was never proved for.
+    let params = SortParams::new(15, 64);
+    let cfg = SortConfig {
+        params,
+        device: Device::kepler_64bit_like(),
+        timing: TimingModel::rtx2080ti_like(),
+        count_accesses: true,
+    };
+    let n = 8 * params.tile();
+    let worst = InputSpec::worst_case(params).generate(n);
+
+    let cw = simulate_sort(&worst, SortAlgorithm::CfMerge, &cfg);
+    let mut expect = worst.clone();
+    expect.sort_unstable();
+    assert_eq!(cw.output, expect, "fused banks change cost, never correctness");
+
+    // Dynamically: the CF pipeline records shared-memory conflicts under
+    // fused banks (zero on every 32-bit-bank device, see
+    // `conclusions_hold_on_ampere_class_device`).
+    let total_conflicts = cw.profile.total_bank_conflicts();
+    assert!(
+        total_conflicts > 0,
+        "64-bit rows must surface conflicts in the CF pipeline (saw {total_conflicts})"
+    );
+
+    // Statically: the registry's verdict set degrades in the same
+    // direction — strictly fewer conflict-free certificates than the
+    // 32-bit shape, but every phase still gets a *decided* verdict (the
+    // fused-exhaustive strategies cover the shape; nothing falls back to
+    // a refusal that the 32-bit prover could decide).
+    let w32 = check_registry_on(SortAlgorithm::CfMerge, BankShape::word32(32), params.e, params.u);
+    let w64 = check_registry_on(SortAlgorithm::CfMerge, BankShape::word64(32), params.e, params.u);
+    let free = |rs: &[cfmerge::core::analysis::PhaseReport]| {
+        rs.iter().filter(|r| r.verdict.is_conflict_free()).count()
+    };
+    assert!(free(&w64) < free(&w32));
+    for (r32, r64) in w32.iter().zip(&w64) {
+        assert_eq!(r32.spec.phase, r64.spec.phase);
+        let refused = |r: &cfmerge::core::analysis::PhaseReport| {
+            matches!(r.verdict, cfmerge::gpu_sim::check::Verdict::NotCertifiable { .. })
+        };
+        assert_eq!(
+            refused(r32),
+            refused(r64),
+            "{}/{}: decidability must match across bank widths",
+            r64.spec.kernel,
+            r64.spec.phase
+        );
+    }
+}
+
+#[test]
+fn every_device_profile_yields_a_passing_registry() {
+    // The certificate table quantifies over the shipped device-profile
+    // lattice; each profile's bank shape must be supported and the full
+    // registry must pass on it for both pipelines and both paper presets.
+    for profile in device_profiles() {
+        let shape = BankShape::of_device(&profile.device);
+        assert!(shape.supported(), "{}", profile.name);
+        for algo in [SortAlgorithm::ThrustMergesort, SortAlgorithm::CfMerge] {
+            for params in [SortParams::e15_u512(), SortParams::e17_u256()] {
+                let reports = check_registry_on(algo, shape, params.e, params.u);
+                assert!(!reports.is_empty());
+                for r in &reports {
+                    assert!(r.pass(), "{} {}: {}", profile.name, algo.label(), r.summary());
+                }
+            }
+        }
+    }
 }
 
 #[test]
