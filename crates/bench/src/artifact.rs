@@ -542,6 +542,12 @@ pub fn service_table(artifact: &RunArtifact) -> Option<String> {
         vec!["probes".into(), sc.probes.to_string()],
         vec!["resumed".into(), sc.resumed.to_string()],
         vec!["checkpoints taken".into(), sc.checkpoints_taken.to_string()],
+        vec!["device crashes".into(), sc.device_crashes.to_string()],
+        vec!["device restarts".into(), sc.device_restarts.to_string()],
+        vec!["device lost".into(), sc.device_lost.to_string()],
+        vec!["migrations".into(), sc.migrations.to_string()],
+        vec!["migrations failed".into(), sc.migrations_failed.to_string()],
+        vec!["steals".into(), sc.steals.to_string()],
     ];
     Some(cfmerge_core::metrics::format_table(&["service metric", "value"], &rows))
 }

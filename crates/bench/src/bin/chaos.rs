@@ -1,7 +1,7 @@
 //! Chaos campaigns for the robust sort service.
 //!
-//! Two suites, selectable by argument (`chaos sweep`, `chaos service`;
-//! no argument runs both):
+//! Three suites, selectable by argument (`chaos sweep`, `chaos service`,
+//! `chaos cluster`; no argument runs all three):
 //!
 //! * **sweep** — the pinned-seed fault-injection campaign: for each of
 //!   64 pinned seeds × 2 pipelines, a deterministic [`FaultPlan`]
@@ -21,11 +21,27 @@
 //!   checkpoint, and a straggler storm answered by hedged duplicates.
 //!   Artifact: `results/resilience.json`.
 //!
+//! * **cluster** — the traffic × fault × policy chaos matrix for the
+//!   multi-device cluster service: each pinned scenario replays a seeded
+//!   load-generator stream (steady, diurnal, bursty, or a Theorem-8
+//!   worst-case flood) against a device fleet under a device fault plan
+//!   (none, crash, crash-with-restart, degrade) and an admission /
+//!   migration policy. Every verified success must be the exact sorted
+//!   permutation; every failure must be a typed error; crashed devices
+//!   must hand their work over by checkpoint migration when failover is
+//!   on. The final scenario byte-compares a fault-free single-device
+//!   cluster against [`SortService`] directly. Artifact:
+//!   `results/cluster.json`. `chaos cluster --list` names the scenarios;
+//!   `chaos [cluster] --only <name>` runs one (and skips the artifact,
+//!   so a partial run can never clobber the pinned matrix).
+//!
 //! Exit is nonzero on any violation: undetected corruption, an
 //! unrecovered recoverable fault, a shed job that executed anyway, a
-//! retry-budget underflow, breaker flapping beyond the pinned count, or
-//! a resume that re-executed verified passes. CI runs `sweep` as the
-//! `chaos` job and `service` as the `resilience` job.
+//! retry-budget underflow, breaker flapping beyond the pinned count, a
+//! resume that re-executed verified passes, a device crash that lost
+//! work with migration enabled, or a cluster/service parity break. CI
+//! runs `sweep` as the `chaos` job, `service` as the `resilience` job,
+//! and `cluster` as the `cluster-chaos` job.
 
 use cfmerge_bench::artifact::{self, RunArtifact, RunRecord};
 use cfmerge_bench::report::format_table;
@@ -33,8 +49,10 @@ use cfmerge_core::inputs::InputSpec;
 use cfmerge_core::params::SortParams;
 use cfmerge_core::recovery::{aggregate_counters, pipeline_shape, RobustConfig, SortService};
 use cfmerge_core::resilience::{
-    AdmissionConfig, BreakerConfig, CheckpointPolicy, HedgeConfig, ResilienceConfig,
-    RetryBudgetConfig, ServiceCounters, ShedPolicy,
+    AdmissionConfig, BreakerConfig, CheckpointPolicy, ClusterConfig, ClusterReport, ClusterService,
+    DeviceFaultEvent, DeviceFaultKind, DeviceFaultPlan, HedgeConfig, LoadGenConfig,
+    MigrationConfig, ResilienceConfig, RetryBudgetConfig, ServiceCounters, ShedPolicy,
+    TrafficShape,
 };
 use cfmerge_core::sort::{SortAlgorithm, SortConfig, SortError};
 use cfmerge_core::telemetry::MetricsSnapshot;
@@ -52,17 +70,52 @@ const RECOVERABLE_PLANS: u64 = 64;
 /// Additional plans per pipeline carrying a permanent fault.
 const PERMANENT_PLANS: u64 = 8;
 
+const USAGE: &str = "usage: chaos [sweep|service|cluster] [--list] [--only <scenario>]";
+
 fn main() -> ExitCode {
-    let mode = std::env::args().nth(1);
-    let (run_sweep_suite, run_service_suite) = match mode.as_deref() {
-        None => (true, true),
-        Some("sweep") => (true, false),
-        Some("service") => (false, true),
+    let mut mode: Option<String> = None;
+    let mut list = false;
+    let mut only: Option<String> = None;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--list" => list = true,
+            "--only" => match it.next() {
+                Some(name) => only = Some(name.clone()),
+                None => {
+                    eprintln!("--only needs a scenario name\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other if mode.is_none() && !other.starts_with('-') => mode = Some(other.to_string()),
+            other => {
+                eprintln!("unexpected argument `{other}`\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if list {
+        print_scenario_list();
+        return ExitCode::SUCCESS;
+    }
+    let (run_sweep_suite, run_service_suite, run_cluster_suite) = match mode.as_deref() {
+        // `--only` names a cluster scenario, so it narrows a no-mode
+        // invocation to the cluster suite.
+        None if only.is_some() => (false, false, true),
+        None => (true, true, true),
+        Some("sweep") => (true, false, false),
+        Some("service") => (false, true, false),
+        Some("cluster") => (false, false, true),
         Some(other) => {
-            eprintln!("usage: chaos [sweep|service]   (got `{other}`)");
+            eprintln!("unknown suite `{other}`\n{USAGE}");
             return ExitCode::FAILURE;
         }
     };
+    if only.is_some() && !run_cluster_suite {
+        eprintln!("--only applies to the cluster suite\n{USAGE}");
+        return ExitCode::FAILURE;
+    }
     let mut ok = true;
     if run_sweep_suite {
         ok &= run_sweep();
@@ -70,11 +123,30 @@ fn main() -> ExitCode {
     if run_service_suite {
         ok &= run_service();
     }
+    if run_cluster_suite {
+        ok &= run_cluster(only.as_deref());
+    }
     if ok {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
     }
+}
+
+fn print_scenario_list() {
+    println!("suites: sweep, service, cluster");
+    println!("cluster scenarios (run one with `chaos --only <name>`):");
+    for s in cluster_matrix() {
+        println!(
+            "  {:<28} {} devices, {} jobs, fault={}, policy={}",
+            s.name,
+            s.devices,
+            s.jobs,
+            s.fault.label(),
+            s.policy_label()
+        );
+    }
+    println!("  {:<28} byte-compares an N=1 fault-free cluster against SortService", PARITY_NAME);
 }
 
 // ---------------------------------------------------------------------------
@@ -614,4 +686,441 @@ fn add_latency_summary(art: &mut RunArtifact, scenario: &str, snap: &MetricsSnap
 /// config, so reconstruct the default).
 fn device() -> cfmerge_gpu_sim::device::Device {
     cfmerge_gpu_sim::device::Device::rtx2080ti()
+}
+
+// ---------------------------------------------------------------------------
+// Cluster suite (the `cluster-chaos` CI job)
+// ---------------------------------------------------------------------------
+
+/// The name of the non-matrix parity scenario.
+const PARITY_NAME: &str = "n1-parity";
+
+/// Device fault axis of the scenario matrix.
+#[derive(Clone, Copy)]
+enum FaultMode {
+    /// No device faults.
+    None,
+    /// Permanently crash the device running the longest-latency job of
+    /// the fault-free pre-pass, halfway through that job.
+    Crash,
+    /// Same crash, but the device restarts after a cooldown of one
+    /// fault-free makespan.
+    CrashRestart,
+    /// Device 0 runs the whole campaign under a latency multiplier.
+    Degrade { multiplier: f64 },
+}
+
+impl FaultMode {
+    fn label(&self) -> &'static str {
+        match self {
+            FaultMode::None => "none",
+            FaultMode::Crash => "crash",
+            FaultMode::CrashRestart => "crash-restart",
+            FaultMode::Degrade { .. } => "degrade",
+        }
+    }
+}
+
+/// One pinned cell of the traffic × fault × policy matrix.
+struct ClusterScenario {
+    name: &'static str,
+    devices: usize,
+    shape: TrafficShape,
+    jobs: usize,
+    tenants: &'static [&'static str],
+    fault: FaultMode,
+    admission: AdmissionConfig,
+    migration_enabled: bool,
+    interactive_deadline_s: Option<f64>,
+    expect_migrations: bool,
+    expect_device_lost: bool,
+    expect_shed: bool,
+}
+
+impl ClusterScenario {
+    fn policy_label(&self) -> String {
+        let adm = match self.admission.capacity {
+            Some(cap) => format!("bounded({cap},{})", self.admission.policy.label()),
+            None => "unbounded".to_string(),
+        };
+        let mig = if self.migration_enabled { "migrate" } else { "no-migrate" };
+        format!("{adm}+{mig}")
+    }
+}
+
+/// The pinned scenario matrix. Names are stable CLI/report identifiers —
+/// the golden artifact and CI gate key off them, so add cells rather
+/// than renaming.
+fn cluster_matrix() -> Vec<ClusterScenario> {
+    let unbounded = AdmissionConfig::default();
+    let base = |name, fault, expect_migrations, expect_device_lost| ClusterScenario {
+        name,
+        devices: 2,
+        shape: TrafficShape::Steady { rate_hz: 2e5 },
+        jobs: 14,
+        tenants: &["tenant-a", "tenant-b"],
+        fault,
+        admission: unbounded,
+        migration_enabled: true,
+        interactive_deadline_s: None,
+        expect_migrations,
+        expect_device_lost,
+        expect_shed: false,
+    };
+    vec![
+        base("steady-baseline", FaultMode::None, false, false),
+        base("steady-crash-migrate", FaultMode::Crash, true, false),
+        ClusterScenario {
+            migration_enabled: false,
+            expect_migrations: false,
+            expect_device_lost: true,
+            ..base("steady-crash-lost", FaultMode::Crash, false, true)
+        },
+        base("steady-restart-migrate", FaultMode::CrashRestart, true, false),
+        base("steady-degrade", FaultMode::Degrade { multiplier: 4.0 }, false, false),
+        ClusterScenario {
+            shape: TrafficShape::Diurnal { base_hz: 1e5, peak_hz: 4e5, period_s: 1e-4 },
+            jobs: 20,
+            tenants: &["tenant-a", "tenant-b", "tenant-c"],
+            ..base("diurnal-fair", FaultMode::None, false, false)
+        },
+        ClusterScenario {
+            shape: TrafficShape::Diurnal { base_hz: 1e5, peak_hz: 4e5, period_s: 1e-4 },
+            jobs: 16,
+            tenants: &["tenant-a", "tenant-b", "tenant-c"],
+            ..base("diurnal-crash-migrate", FaultMode::Crash, true, false)
+        },
+        ClusterScenario {
+            devices: 1,
+            shape: TrafficShape::Bursty { base_hz: 1e5, burst_every_s: 5e-5, burst_size: 6 },
+            jobs: 18,
+            admission: AdmissionConfig::bounded(3, ShedPolicy::RejectLargest),
+            expect_shed: true,
+            ..base("bursty-shed-largest", FaultMode::None, false, false)
+        },
+        ClusterScenario {
+            shape: TrafficShape::Bursty { base_hz: 1e5, burst_every_s: 5e-5, burst_size: 5 },
+            jobs: 16,
+            ..base("bursty-restart-migrate", FaultMode::CrashRestart, true, false)
+        },
+        ClusterScenario {
+            devices: 1,
+            shape: TrafficShape::Bursty { base_hz: 1e5, burst_every_s: 5e-5, burst_size: 6 },
+            jobs: 18,
+            admission: AdmissionConfig::bounded(4, ShedPolicy::DeadlineAware),
+            interactive_deadline_s: Some(1e-9),
+            expect_shed: true,
+            ..base("bursty-degrade-deadline", FaultMode::Degrade { multiplier: 8.0 }, false, false)
+        },
+        ClusterScenario {
+            devices: 1,
+            shape: TrafficShape::WorstCaseFlood { rate_hz: 4e5 },
+            jobs: 16,
+            admission: AdmissionConfig::bounded(2, ShedPolicy::RejectNewest),
+            expect_shed: true,
+            ..base("flood-shed-newest", FaultMode::None, false, false)
+        },
+        ClusterScenario {
+            shape: TrafficShape::WorstCaseFlood { rate_hz: 2e5 },
+            jobs: 10,
+            ..base("flood-crash-migrate", FaultMode::Crash, true, false)
+        },
+    ]
+}
+
+/// Build the scenario's cluster and the aligned input copies (outcome
+/// `i` is submission `i`, so the oracle can re-check every success).
+fn build_cluster(
+    s: &ClusterScenario,
+    idx: usize,
+    faults: DeviceFaultPlan,
+) -> (ClusterService, Vec<Vec<u32>>) {
+    let mut cfg = ClusterConfig::homogeneous(s.devices, small_rcfg());
+    cfg.resilience.admission = s.admission;
+    cfg.migration =
+        if s.migration_enabled { MigrationConfig::default() } else { MigrationConfig::disabled() };
+    cfg.faults = faults;
+    let mut cluster = ClusterService::new(cfg);
+    cluster.enable_telemetry();
+    let gen = LoadGenConfig {
+        shape: s.shape,
+        jobs: s.jobs,
+        tenants: s.tenants.iter().map(|t| (*t).to_string()).collect(),
+        seed: BASE_SEED ^ ((idx as u64 + 1) << 16),
+        interactive_deadline_s: s.interactive_deadline_s,
+        ..LoadGenConfig::steady(0, 0, 1e5)
+    };
+    let reqs = gen.generate();
+    let inputs = reqs.iter().map(|r| r.input.clone()).collect();
+    for req in reqs {
+        cluster.submit_request(req);
+    }
+    (cluster, inputs)
+}
+
+/// Concretize the scenario's fault axis. Crash modes run a fault-free
+/// pre-pass and aim the crash at the midpoint of the last-completing
+/// job, so the fault is guaranteed to interrupt in-flight work — the
+/// whole point of the cell — while staying fully deterministic.
+fn derive_faults(s: &ClusterScenario, idx: usize) -> DeviceFaultPlan {
+    match s.fault {
+        FaultMode::None => DeviceFaultPlan::none(),
+        FaultMode::Degrade { multiplier } => DeviceFaultPlan::from_events(vec![DeviceFaultEvent {
+            at_s: 0.0,
+            device: 0,
+            kind: DeviceFaultKind::Degrade { multiplier, duration_s: 10.0 },
+        }]),
+        FaultMode::Crash | FaultMode::CrashRestart => {
+            let (mut pre, _) = build_cluster(s, idx, DeviceFaultPlan::none());
+            let report = pre.run();
+            let victim = report
+                .outcomes
+                .iter()
+                .filter(|o| o.result.is_ok() && o.device.is_some())
+                .max_by(|a, b| a.completed_s.total_cmp(&b.completed_s))
+                .expect("fault-free pre-pass must verify at least one job");
+            let exec_s = victim.result.as_ref().expect("filtered Ok").run.simulated_seconds;
+            let kind = match s.fault {
+                FaultMode::CrashRestart => {
+                    DeviceFaultKind::CrashWithRestart { cooldown_s: report.clock_s.max(exec_s) }
+                }
+                _ => DeviceFaultKind::Crash,
+            };
+            DeviceFaultPlan::from_events(vec![DeviceFaultEvent {
+                at_s: victim.completed_s - 0.5 * exec_s,
+                device: victim.device.expect("filtered Some"),
+                kind,
+            }])
+        }
+    }
+}
+
+/// Scenario invariants: every success is the exact sorted permutation,
+/// every failure is a typed error from the classes the cell provokes,
+/// and the cell's expected counters actually moved.
+fn check_cluster_scenario(
+    s: &ClusterScenario,
+    inputs: &[Vec<u32>],
+    report: &ClusterReport,
+    violations: &mut Vec<String>,
+) {
+    let mut verified = 0u64;
+    for (input, o) in inputs.iter().zip(&report.outcomes) {
+        match &o.result {
+            Ok(run) => {
+                verified += 1;
+                if let Err(f) = verify_sorted_permutation(input, &run.run.output) {
+                    violations.push(format!("{}/{}: UNDETECTED CORRUPTION: {f}", s.name, o.label));
+                }
+            }
+            Err(
+                SortError::Shed { .. }
+                | SortError::Overloaded { .. }
+                | SortError::DeadlineExceeded { .. }
+                | SortError::InvalidDeadline { .. },
+            ) => {}
+            Err(e @ (SortError::DeviceLost { .. } | SortError::MigrationFailed { .. })) => {
+                if matches!(s.fault, FaultMode::None | FaultMode::Degrade { .. }) {
+                    violations.push(format!(
+                        "{}/{}: device loss without a device fault: {e}",
+                        s.name, o.label
+                    ));
+                }
+            }
+            Err(e) => violations.push(format!("{}/{}: untyped outcome: {e}", s.name, o.label)),
+        }
+    }
+    if verified == 0 {
+        violations.push(format!("{}: no job verified", s.name));
+    }
+    let c = &report.counters;
+    if s.expect_migrations {
+        if c.migrations == 0 {
+            violations.push(format!("{}: expected checkpoint migrations, saw none", s.name));
+        }
+        // With failover on and a surviving compatible device, a crash
+        // must never cost a job: interrupted work completes elsewhere.
+        if c.device_lost + c.migrations_failed > 0 {
+            violations.push(format!(
+                "{}: migration enabled but {} jobs lost / {} migrations failed",
+                s.name, c.device_lost, c.migrations_failed
+            ));
+        }
+    }
+    if s.expect_device_lost && c.device_lost == 0 {
+        violations.push(format!("{}: expected DeviceLost outcomes, saw none", s.name));
+    }
+    if s.expect_shed && c.shed_overload + c.shed_largest + c.shed_deadline == 0 {
+        violations.push(format!("{}: expected load shedding, saw none", s.name));
+    }
+}
+
+/// Parity cell: a fault-free single-device cluster must be bit-identical
+/// to [`SortService`] — outcomes, modeled clock, and counters.
+fn scenario_n1_parity(violations: &mut Vec<String>) -> ClusterReport {
+    let params = SortParams::new(5, 32);
+    let mut svc = SortService::new(small_rcfg());
+    let mut cluster =
+        ClusterService::new(ClusterConfig::single(small_rcfg(), ResilienceConfig::default()));
+    for (i, tiles) in [2usize, 4, 3, 8, 2, 5].iter().enumerate() {
+        let n = tiles * params.tile() + i;
+        let seed = BASE_SEED ^ 0xA117 ^ ((i as u64) << 8);
+        let input = InputSpec::UniformRandom { seed }.generate(n);
+        let algo = if i % 3 == 2 { SortAlgorithm::ThrustMergesort } else { SortAlgorithm::CfMerge };
+        let label = format!("parity/job-{i}");
+        svc.submit(&label, input.clone(), algo);
+        cluster.submit(&label, input, algo);
+    }
+    let svc_out = svc.drain();
+    let report = cluster.run();
+    for (c, s) in report.outcomes.iter().zip(&svc_out) {
+        match (&c.result, &s.result) {
+            (Ok(cr), Ok(sr)) => {
+                if cr.run.output != sr.run.output
+                    || cr.run.simulated_seconds != sr.run.simulated_seconds
+                {
+                    violations
+                        .push(format!("{PARITY_NAME}/{}: run diverged from SortService", c.label));
+                }
+            }
+            (Err(ce), Err(se)) if ce.to_string() == se.to_string() => {}
+            _ => violations.push(format!("{PARITY_NAME}/{}: outcome class diverged", c.label)),
+        }
+    }
+    if report.clock_s != svc.clock_s() {
+        violations.push(format!(
+            "{PARITY_NAME}: modeled clock diverged: cluster {} vs service {}",
+            report.clock_s,
+            svc.clock_s()
+        ));
+    }
+    if report.counters != *svc.counters() {
+        violations.push(format!(
+            "{PARITY_NAME}: counters diverged:\n  cluster: {:?}\n  service: {:?}",
+            report.counters,
+            svc.counters()
+        ));
+    }
+    report
+}
+
+fn run_cluster(only: Option<&str>) -> bool {
+    let matrix = cluster_matrix();
+    if let Some(name) = only {
+        if name != PARITY_NAME && !matrix.iter().any(|s| s.name == name) {
+            eprintln!("unknown cluster scenario `{name}`; `chaos cluster --list` names them");
+            return false;
+        }
+    }
+    let mut violations: Vec<String> = Vec::new();
+    let mut art = RunArtifact::new("cluster", device());
+    let mut totals = ServiceCounters::default();
+    let mut telemetry = MetricsSnapshot::default();
+    let mut rows = Vec::new();
+    let mut ran_any = false;
+
+    for (idx, s) in matrix.iter().enumerate() {
+        if only.is_some_and(|o| o != s.name) {
+            continue;
+        }
+        ran_any = true;
+        let faults = derive_faults(s, idx);
+        let (mut cluster, inputs) = build_cluster(s, idx, faults);
+        let report = cluster.run();
+        check_cluster_scenario(s, &inputs, &report, &mut violations);
+        add_cluster_summaries(&mut art, s.name, &report);
+        totals.merge(&report.counters);
+        if let Some(snap) = &report.telemetry {
+            telemetry =
+                telemetry.merged(&snap.with_prefix(&format!("{}_", s.name.replace('-', "_"))));
+        }
+        let all = report.tenant_slos.last().expect("`all` row is always appended");
+        rows.push(vec![
+            s.name.to_string(),
+            format!("{}", s.devices),
+            format!("{}", report.outcomes.len()),
+            format!("{}", all.verified),
+            format!("{}", report.counters.migrations),
+            format!("{}", report.counters.device_lost),
+            format!(
+                "{}",
+                report.counters.shed_overload
+                    + report.counters.shed_largest
+                    + report.counters.shed_deadline
+            ),
+            format!("{:.3e}", all.p99_s),
+            format!("{:.3e}", report.clock_s),
+        ]);
+    }
+    if only.is_none() || only == Some(PARITY_NAME) {
+        ran_any = true;
+        let report = scenario_n1_parity(&mut violations);
+        add_cluster_summaries(&mut art, PARITY_NAME, &report);
+        totals.merge(&report.counters);
+        let all = report.tenant_slos.last().expect("`all` row is always appended");
+        rows.push(vec![
+            PARITY_NAME.to_string(),
+            "1".into(),
+            format!("{}", report.outcomes.len()),
+            format!("{}", all.verified),
+            "0".into(),
+            "0".into(),
+            "0".into(),
+            format!("{:.3e}", all.p99_s),
+            format!("{:.3e}", report.clock_s),
+        ]);
+    }
+    if !ran_any {
+        eprintln!("no cluster scenario matched");
+        return false;
+    }
+
+    println!(
+        "\ncluster chaos matrix:\n{}",
+        format_table(
+            &["scenario", "dev", "jobs", "verified", "migr", "lost", "shed", "p99 s", "clock s"],
+            &rows
+        )
+    );
+
+    if only.is_none() {
+        art.add_summary("scenarios", Json::from(rows.len()));
+        art.add_summary("service", totals.to_json());
+        art.add_summary("violations", Json::from(violations.len()));
+        art.telemetry = Some(telemetry);
+        artifact::emit(&art);
+    } else {
+        println!("(--only run: skipping results/cluster.json so the pinned matrix stays intact)");
+    }
+
+    if violations.is_empty() {
+        println!(
+            "\nOK: every cluster job was verified-sorted, typed-shed, or typed device-lost; \
+             every crash with failover enabled completed via checkpoint migration."
+        );
+        true
+    } else {
+        for v in &violations {
+            eprintln!("FAIL: {v}");
+        }
+        false
+    }
+}
+
+/// Per-scenario artifact summaries: the `all` SLO row plus the makespan
+/// and failover price — the numbers the perf gate pins.
+fn add_cluster_summaries(art: &mut RunArtifact, name: &str, report: &ClusterReport) {
+    let all = report.tenant_slos.last().expect("`all` row is always appended");
+    art.add_summary(
+        &format!("{}_slo", name.replace('-', "_")),
+        Json::obj([
+            ("verified", Json::from(all.verified)),
+            ("p50_s", Json::from(all.p50_s)),
+            ("p99_s", Json::from(all.p99_s)),
+            ("p999_s", Json::from(all.p999_s)),
+            ("clock_s", Json::from(report.clock_s)),
+            ("lost_work_s", Json::from(report.lost_work_s)),
+            ("migration_s", Json::from(report.migration_s)),
+        ]),
+    );
 }

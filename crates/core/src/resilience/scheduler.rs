@@ -1,0 +1,160 @@
+//! Deterministic discrete-event scheduler over modeled time.
+//!
+//! The cluster layer (`crate::resilience::cluster`) is an event
+//! simulation: arrivals, device faults, restarts, completions, and
+//! migration hand-offs all happen at modeled timestamps. This module's
+//! [`EventQueue`] is the single ordering authority for those events:
+//! events pop in `(time, push-sequence)` order, so two runs that push
+//! the same events in the same order pop them identically — there is no
+//! wall clock, no hash-map iteration order, and no thread scheduling
+//! anywhere in the loop. That property is what makes every cluster
+//! artifact bit-stable.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One scheduled event: a payload due at a modeled timestamp, tagged
+/// with the monotonically increasing sequence number of its `push` (the
+/// deterministic tie-break for simultaneous events).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event<T> {
+    /// Modeled due time in seconds.
+    pub at_s: f64,
+    /// Push sequence number (unique per queue, monotonically increasing).
+    pub seq: u64,
+    /// The event itself.
+    pub payload: T,
+}
+
+/// Min-heap keyed on `(at_s, seq)`. `f64` times are compared with
+/// `total_cmp`; non-finite times are a caller bug and rejected by
+/// `push` via `debug_assert`.
+pub struct EventQueue<T> {
+    heap: BinaryHeap<HeapEntry<T>>,
+    next_seq: u64,
+}
+
+struct HeapEntry<T>(Event<T>);
+
+impl<T> PartialEq for HeapEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl<T> Eq for HeapEntry<T> {}
+impl<T> PartialOrd for HeapEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for HeapEntry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse for earliest-first.
+        other.0.at_s.total_cmp(&self.0.at_s).then_with(|| other.0.seq.cmp(&self.0.seq))
+    }
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// An empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+
+    /// Schedule `payload` at modeled time `at_s`; returns the sequence
+    /// number assigned to the event.
+    pub fn push(&mut self, at_s: f64, payload: T) -> u64 {
+        debug_assert!(at_s.is_finite(), "event times must be finite modeled seconds");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(HeapEntry(Event { at_s, seq, payload }));
+        seq
+    }
+
+    /// Pop the earliest event (ties broken by push order).
+    pub fn pop(&mut self) -> Option<Event<T>> {
+        self.heap.pop().map(|e| e.0)
+    }
+
+    /// Due time of the earliest pending event.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.0.at_s)
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_then_push_order() {
+        let mut q = EventQueue::new();
+        q.push(2.0, "late");
+        q.push(1.0, "early-a");
+        q.push(1.0, "early-b");
+        q.push(0.5, "first");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop()).map(|e| e.payload).collect();
+        assert_eq!(order, ["first", "early-a", "early-b", "late"]);
+    }
+
+    #[test]
+    fn simultaneous_events_keep_fifo_order_exhaustively() {
+        let mut q = EventQueue::new();
+        for i in 0..100u32 {
+            // Three distinct timestamps, pushed interleaved.
+            q.push(f64::from(i % 3), i);
+        }
+        let mut last = (f64::NEG_INFINITY, 0u64);
+        while let Some(e) = q.pop() {
+            assert!(e.at_s > last.0 || (e.at_s == last.0 && e.seq > last.1));
+            last = (e.at_s, e.seq);
+        }
+    }
+
+    #[test]
+    fn identical_push_sequences_pop_identically() {
+        let build = || {
+            let mut q = EventQueue::new();
+            for i in 0..64u64 {
+                // A deterministic but scrambled time pattern.
+                let t = ((i * 37) % 11) as f64 * 1e-6;
+                q.push(t, i);
+            }
+            std::iter::from_fn(move || q.pop())
+                .map(|e| (e.at_s, e.seq, e.payload))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(3.5, ());
+        q.push(1.5, ());
+        assert_eq!(q.peek_time(), Some(1.5));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop().unwrap().at_s, 1.5);
+        assert_eq!(q.peek_time(), Some(3.5));
+    }
+}

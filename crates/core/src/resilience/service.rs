@@ -169,6 +169,19 @@ pub struct ServiceCounters {
     pub resumed: u64,
     /// Checkpoints captured across all jobs.
     pub checkpoints_taken: u64,
+    /// Whole-device crash events observed by the cluster layer.
+    pub device_crashes: u64,
+    /// Devices that rejoined after a crash-with-restart cooldown.
+    pub device_restarts: u64,
+    /// Jobs that ended in a typed [`SortError::DeviceLost`].
+    pub device_lost: u64,
+    /// Checkpoint migrations that moved an interrupted job to a
+    /// surviving device.
+    pub migrations: u64,
+    /// Migrations that could not complete ([`SortError::MigrationFailed`]).
+    pub migrations_failed: u64,
+    /// Jobs a free device stole from another device's queue.
+    pub steals: u64,
 }
 
 impl ServiceCounters {
@@ -192,6 +205,12 @@ impl ServiceCounters {
         self.probes += other.probes;
         self.resumed += other.resumed;
         self.checkpoints_taken += other.checkpoints_taken;
+        self.device_crashes += other.device_crashes;
+        self.device_restarts += other.device_restarts;
+        self.device_lost += other.device_lost;
+        self.migrations += other.migrations;
+        self.migrations_failed += other.migrations_failed;
+        self.steals += other.steals;
     }
 }
 
@@ -216,6 +235,12 @@ impl ToJson for ServiceCounters {
             ("probes", Json::from(self.probes)),
             ("resumed", Json::from(self.resumed)),
             ("checkpoints_taken", Json::from(self.checkpoints_taken)),
+            ("device_crashes", Json::from(self.device_crashes)),
+            ("device_restarts", Json::from(self.device_restarts)),
+            ("device_lost", Json::from(self.device_lost)),
+            ("migrations", Json::from(self.migrations)),
+            ("migrations_failed", Json::from(self.migrations_failed)),
+            ("steals", Json::from(self.steals)),
         ])
     }
 }
@@ -241,6 +266,13 @@ impl FromJson for ServiceCounters {
             probes: v.field("probes")?,
             resumed: v.field("resumed")?,
             checkpoints_taken: v.field("checkpoints_taken")?,
+            // Cluster-era fields (PR 8): absent from older artifacts.
+            device_crashes: v.field_opt("device_crashes")?.unwrap_or(0),
+            device_restarts: v.field_opt("device_restarts")?.unwrap_or(0),
+            device_lost: v.field_opt("device_lost")?.unwrap_or(0),
+            migrations: v.field_opt("migrations")?.unwrap_or(0),
+            migrations_failed: v.field_opt("migrations_failed")?.unwrap_or(0),
+            steals: v.field_opt("steals")?.unwrap_or(0),
         })
     }
 }
@@ -318,6 +350,18 @@ impl SortService {
     #[must_use]
     pub fn clock_s(&self) -> f64 {
         self.clock_s
+    }
+
+    /// Advance the service clock to the cluster's global event time (a
+    /// device that sat idle still saw its retry budget refill and its
+    /// breaker cooldowns tick). Never moves the clock backwards, and is
+    /// a no-op in the single-device batch pattern where dispatch times
+    /// coincide with the accumulated clock — which is exactly why N=1
+    /// fault-free cluster runs stay bit-identical to [`SortService`].
+    pub(crate) fn sync_clock(&mut self, now_s: f64) {
+        if now_s > self.clock_s {
+            self.clock_s = now_s;
+        }
     }
 
     /// Retry tokens currently in the budget (`None` when unlimited).

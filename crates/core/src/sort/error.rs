@@ -92,6 +92,25 @@ pub enum SortError {
         /// Human-readable reason.
         reason: String,
     },
+    /// The whole simulated device holding the job was lost and the
+    /// cluster had no failover path (migration disabled, or every device
+    /// permanently down). Distinct from [`SortError::Interrupted`]: no
+    /// usable continuation exists.
+    DeviceLost {
+        /// Index of the lost device in the cluster.
+        device: usize,
+        /// What was lost with it.
+        reason: String,
+    },
+    /// Checkpoint migration off a lost device was attempted but could
+    /// not complete (no surviving compatible device, or the per-job
+    /// migration cap was exhausted).
+    MigrationFailed {
+        /// Device the job was running on when it was interrupted.
+        from_device: usize,
+        /// Why no migration target worked.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for SortError {
@@ -124,6 +143,12 @@ impl std::fmt::Display for SortError {
             }
             SortError::CheckpointInvalid { reason } => {
                 write!(f, "checkpoint failed validation: {reason}")
+            }
+            SortError::DeviceLost { device, reason } => {
+                write!(f, "device {device} lost: {reason}")
+            }
+            SortError::MigrationFailed { from_device, reason } => {
+                write!(f, "migration off device {from_device} failed: {reason}")
             }
         }
     }
@@ -175,6 +200,16 @@ impl ToJson for SortError {
             ]),
             SortError::CheckpointInvalid { reason } => Json::obj([
                 ("kind", Json::from("checkpoint-invalid")),
+                ("reason", Json::from(reason.as_str())),
+            ]),
+            SortError::DeviceLost { device, reason } => Json::obj([
+                ("kind", Json::from("device-lost")),
+                ("device", Json::from(*device)),
+                ("reason", Json::from(reason.as_str())),
+            ]),
+            SortError::MigrationFailed { from_device, reason } => Json::obj([
+                ("kind", Json::from("migration-failed")),
+                ("from_device", Json::from(*from_device)),
                 ("reason", Json::from(reason.as_str())),
             ]),
         }
