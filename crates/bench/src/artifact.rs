@@ -549,7 +549,63 @@ pub fn service_table(artifact: &RunArtifact) -> Option<String> {
         vec!["migrations failed".into(), sc.migrations_failed.to_string()],
         vec!["steals".into(), sc.steals.to_string()],
     ];
+    // Tuner-era rows appear only once a tuning ladder has actually
+    // routed something — pre-tuner artifacts render exactly as before.
+    let mut rows = rows;
+    for (label, v) in [
+        ("tuned jobs", sc.tuned_jobs),
+        ("ladder steps", sc.ladder_steps),
+        ("uncertified rejected", sc.uncertified_rejected),
+        ("canary jobs", sc.canary_jobs),
+        ("canary rollbacks", sc.canary_rollbacks),
+        ("canary promotions", sc.canary_promotions),
+    ] {
+        if v > 0 {
+            rows.push(vec![label.into(), v.to_string()]);
+        }
+    }
     Some(cfmerge_core::metrics::format_table(&["service metric", "value"], &rows))
+}
+
+/// Auto-tuner coverage: per-ladder rung/tier counts from a
+/// `summaries.tuning` block (written by `tune`), plus the table checksum
+/// and the validation-scenario tally. `None` when the artifact carries
+/// no tuning summary. A drop in a ladder's `rungs` or `certified` column
+/// relative to a pinned artifact is a *coverage loss* — the gate calls
+/// it out.
+#[must_use]
+pub fn tuning_table(artifact: &RunArtifact) -> Option<String> {
+    let tuning = artifact.summaries.get("tuning")?;
+    let ladders = tuning.get("ladders")?.as_arr()?;
+    let cell = |row: &Json, key: &str| {
+        row.get(key).and_then(Json::as_u64).map_or_else(|| "?".into(), |v| v.to_string())
+    };
+    let rows: Vec<Vec<String>> = ladders
+        .iter()
+        .map(|row| {
+            vec![
+                row.get("ladder").and_then(Json::as_str).unwrap_or("?").to_string(),
+                cell(row, "rungs"),
+                cell(row, "certified"),
+                cell(row, "degraded"),
+                cell(row, "excluded"),
+            ]
+        })
+        .collect();
+    let mut out = cfmerge_core::metrics::format_table(
+        &["ladder", "rungs", "certified", "degraded", "excluded"],
+        &rows,
+    );
+    if let Some(checksum) = tuning.get("checksum").and_then(Json::as_str) {
+        out.push_str(&format!("\nladder checksum: {checksum}"));
+    }
+    if let (Some(scen), Some(fail)) = (
+        tuning.get("validation_scenarios").and_then(Json::as_u64),
+        tuning.get("validation_failures").and_then(Json::as_u64),
+    ) {
+        out.push_str(&format!("\nvalidation scenarios: {scen} ({fail} failed)"));
+    }
+    Some(out)
 }
 
 #[cfg(test)]

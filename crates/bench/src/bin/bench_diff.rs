@@ -21,7 +21,7 @@
 
 use cfmerge_bench::artifact::{
     certificates_table, diff_table, dropped_conflicts_table, recovery_table, service_table,
-    summary_table, RunArtifact,
+    summary_table, tuning_table, RunArtifact,
 };
 use cfmerge_bench::gate::{gate_artifacts, GateConfig};
 use std::path::Path;
@@ -49,6 +49,10 @@ fn print_aux_tables(name: &str, art: &RunArtifact) {
     }
     if let Some(t) = certificates_table(art) {
         println!("\n=== kernel certification coverage ({name}: {}) ===\n", art.tool);
+        println!("{t}");
+    }
+    if let Some(t) = tuning_table(art) {
+        println!("\n=== auto-tuner ladder coverage ({name}: {}) ===\n", art.tool);
         println!("{t}");
     }
 }
@@ -119,6 +123,10 @@ fn main() -> ExitCode {
             }
             if let Some(t) = certificates_table(&art) {
                 println!("\n=== kernel certification coverage ===\n");
+                println!("{t}");
+            }
+            if let Some(t) = tuning_table(&art) {
+                println!("\n=== auto-tuner ladder coverage ===\n");
                 println!("{t}");
             }
             if let Some(snap) = &art.telemetry {

@@ -31,9 +31,14 @@
 //!   must hand their work over by checkpoint migration when failover is
 //!   on. The final scenario byte-compares a fault-free single-device
 //!   cluster against [`SortService`] directly. Artifact:
-//!   `results/cluster.json`. `chaos cluster --list` names the scenarios;
-//!   `chaos [cluster] --only <name>` runs one (and skips the artifact,
-//!   so a partial run can never clobber the pinned matrix).
+//!   `results/cluster.json`.
+//!
+//! `chaos --list` names every suite's scenarios. `--only <name>` runs a
+//! single scenario: `chaos sweep --only <pipeline>`, `chaos service
+//! --only <scenario>`, `chaos cluster --only <cell>` (bare `chaos
+//! --only <cell>` still means the cluster suite). Every filtered run
+//! skips its artifact, so a partial run can never clobber a pinned
+//! baseline.
 //!
 //! Exit is nonzero on any violation: undetected corruption, an
 //! unrecovered recoverable fault, a shed job that executed anyway, a
@@ -112,16 +117,19 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    if only.is_some() && !run_cluster_suite {
-        eprintln!("--only applies to the cluster suite\n{USAGE}");
+    if only.is_some() && run_sweep_suite && run_service_suite {
+        // Unreachable today (a bare `--only` narrows to cluster above),
+        // but keep the all-suites + filter combination an explicit error
+        // rather than a guess about which suite the name belongs to.
+        eprintln!("--only needs a suite (sweep, service, or cluster)\n{USAGE}");
         return ExitCode::FAILURE;
     }
     let mut ok = true;
     if run_sweep_suite {
-        ok &= run_sweep();
+        ok &= run_sweep(only.as_deref());
     }
     if run_service_suite {
-        ok &= run_service();
+        ok &= run_service(only.as_deref());
     }
     if run_cluster_suite {
         ok &= run_cluster(only.as_deref());
@@ -135,6 +143,19 @@ fn main() -> ExitCode {
 
 fn print_scenario_list() {
     println!("suites: sweep, service, cluster");
+    println!("sweep pipelines (run one with `chaos sweep --only <name>`):");
+    for algo in [SortAlgorithm::ThrustMergesort, SortAlgorithm::CfMerge] {
+        println!(
+            "  {:<28} {} recoverable + {} permanent-fault plans",
+            algo.label(),
+            RECOVERABLE_PLANS,
+            PERMANENT_PLANS
+        );
+    }
+    println!("service scenarios (run one with `chaos service --only <name>`):");
+    for (name, _) in service_scenarios() {
+        println!("  {name}");
+    }
     println!("cluster scenarios (run one with `chaos --only <name>`):");
     for s in cluster_matrix() {
         println!(
@@ -153,7 +174,14 @@ fn print_scenario_list() {
 // Sweep suite (the `chaos` CI job)
 // ---------------------------------------------------------------------------
 
-fn run_sweep() -> bool {
+fn run_sweep(only: Option<&str>) -> bool {
+    let pipelines = [SortAlgorithm::ThrustMergesort, SortAlgorithm::CfMerge];
+    if let Some(name) = only {
+        if !pipelines.iter().any(|a| a.label() == name) {
+            eprintln!("unknown sweep pipeline `{name}`; `chaos --list` names them");
+            return false;
+        }
+    }
     let params = SortParams::new(5, 32);
     let cfg = RobustConfig::new(SortConfig::with_params(params));
     // 4 full tiles plus a ragged tail: exercises sentinel padding under
@@ -173,7 +201,10 @@ fn run_sweep() -> bool {
     let mut svc = SortService::new(cfg);
     svc.enable_telemetry();
     let mut jobs = Vec::new();
-    for algo in [SortAlgorithm::ThrustMergesort, SortAlgorithm::CfMerge] {
+    for algo in pipelines {
+        if only.is_some_and(|o| o != algo.label()) {
+            continue;
+        }
         for i in 0..RECOVERABLE_PLANS + PERMANENT_PLANS {
             let permanent = i >= RECOVERABLE_PLANS;
             let seed = BASE_SEED ^ (i << 8) ^ u64::from(algo == SortAlgorithm::CfMerge);
@@ -247,7 +278,11 @@ fn run_sweep() -> bool {
     let snap = svc.telemetry_snapshot().expect("telemetry enabled above").with_prefix("sweep_");
     add_latency_summary(&mut art, "sweep", &snap);
     art.telemetry = Some(snap);
-    artifact::emit(&art);
+    if only.is_none() {
+        artifact::emit(&art);
+    } else {
+        println!("(--only run: skipping results/chaos.json so the pinned campaign stays intact)");
+    }
 
     if violations.is_empty() {
         println!(
@@ -297,7 +332,27 @@ fn small_rcfg() -> RobustConfig {
     RobustConfig::new(SortConfig::with_params(SortParams::new(5, 32)))
 }
 
-fn run_service() -> bool {
+/// One service-suite scenario: stable CLI name plus its runner.
+type ServiceScenario =
+    (&'static str, fn(&mut Vec<String>, &mut RunArtifact, &mut ServiceCounters) -> MetricsSnapshot);
+
+fn service_scenarios() -> [ServiceScenario; 4] {
+    [
+        ("fault-storm", scenario_fault_storm),
+        ("queue-overflow", scenario_queue_overflow),
+        ("kill-and-resume", scenario_kill_and_resume),
+        ("straggler-storm", scenario_straggler_storm),
+    ]
+}
+
+fn run_service(only: Option<&str>) -> bool {
+    let scenarios = service_scenarios();
+    if let Some(name) = only {
+        if !scenarios.iter().any(|(n, _)| *n == name) {
+            eprintln!("unknown service scenario `{name}`; `chaos --list` names them");
+            return false;
+        }
+    }
     let mut violations: Vec<String> = Vec::new();
     let mut art = RunArtifact::new("resilience", device());
     let mut service_totals = ServiceCounters::default();
@@ -306,19 +361,23 @@ fn run_service() -> bool {
     // prefix; the merged snapshot rides in the artifact so the perf gate
     // pins every counter, gauge, and latency percentile of the campaign.
     let mut telemetry = MetricsSnapshot::default();
-    for snap in [
-        scenario_fault_storm(&mut violations, &mut art, &mut service_totals),
-        scenario_queue_overflow(&mut violations, &mut art, &mut service_totals),
-        scenario_kill_and_resume(&mut violations, &mut art, &mut service_totals),
-        scenario_straggler_storm(&mut violations, &mut art, &mut service_totals),
-    ] {
-        telemetry = telemetry.merged(&snap);
+    for (name, scenario) in scenarios {
+        if only.is_some_and(|o| o != name) {
+            continue;
+        }
+        telemetry = telemetry.merged(&scenario(&mut violations, &mut art, &mut service_totals));
     }
 
     art.add_summary("service", service_totals.to_json());
     art.add_summary("violations", Json::from(violations.len()));
     art.telemetry = Some(telemetry);
-    artifact::emit(&art);
+    if only.is_none() {
+        artifact::emit(&art);
+    } else {
+        println!(
+            "(--only run: skipping results/resilience.json so the pinned campaign stays intact)"
+        );
+    }
 
     if violations.is_empty() {
         println!(

@@ -1,0 +1,371 @@
+//! The offline certified auto-tuner: search the (E, u, device-profile)
+//! landscape through certificate verdicts, occupancy, and the timing
+//! model; rank the survivors into per-device degradation ladders; replay
+//! the pinned rollout scenarios (breaker-trip ladder step-down, canary
+//! rollback) against the fresh table; and (with `--check PINNED.json`)
+//! fail on any drift.
+//!
+//! Emits two artifacts into the results dir (`$CFMERGE_RESULTS_DIR`,
+//! default `results/`):
+//!
+//! * `tuning.json` — the versioned, checksummed [`TuningTable`]: one
+//!   degradation ladder per (device profile, pipeline), certified rungs
+//!   first, plus the excluded configs with reasons and the validation
+//!   scenarios' deterministic event logs.
+//! * `tune.json` — a [`RunArtifact`] whose `summaries.tuning` block
+//!   carries the ladder coverage counts the perf gate
+//!   (`bench_diff --gate`) compares, flagging certified-rung losses.
+//!
+//! Exit status is nonzero on any failed validation scenario or any
+//! drift against a pinned table.
+
+use cfmerge_bench::artifact::{emit, RunArtifact};
+use cfmerge_core::cert::build_certificate_table;
+use cfmerge_core::inputs::InputSpec;
+use cfmerge_core::params::SortParams;
+use cfmerge_core::recovery::RobustConfig;
+use cfmerge_core::resilience::{BreakerConfig, JobOutcome, ResilienceConfig, SortService};
+use cfmerge_core::sort::{SortAlgorithm, SortConfig, SortError};
+use cfmerge_core::tuning::{
+    build_tuning_table, CanaryPolicy, RungTier, TuningPolicy, TuningTable, ValidationScenario,
+};
+use cfmerge_gpu_sim::device::Device;
+use cfmerge_gpu_sim::fault::{FaultKind, FaultPlan, FaultSite, Persistence};
+use cfmerge_json::{FromJson, Json, ToJson};
+use std::path::Path;
+
+/// The sticky poison every validation scenario injects: defeats all
+/// retries at the faulted block, so the run is rescued only by the
+/// Thrust fallback — a config-health failure with a verified output.
+fn sticky_poison() -> FaultPlan {
+    FaultPlan::from_sites(vec![FaultSite {
+        kernel: 0,
+        block: 0,
+        phase: 1,
+        kind: FaultKind::StuckBank { bank: 1, bit: 3 },
+        persistence: Persistence::Sticky,
+    }])
+}
+
+/// One deterministic event-log line per job outcome.
+fn describe(o: &JobOutcome) -> String {
+    let tuned = o.tuned.map_or_else(|| "-".to_string(), |p| format!("E={},u={}", p.e, p.u));
+    let result = match &o.result {
+        Ok(_) => "verified".to_string(),
+        Err(e) => format!("error: {e}"),
+    };
+    format!(
+        "{}: tuned={tuned} quarantined={} degraded={} canary={} -> {result}",
+        o.label, o.quarantined, o.degraded, o.canary
+    )
+}
+
+/// Pinned scenario 1: a tripped breaker steps DOWN the ladder (on the
+/// 64-bit-bank profile, whose rungs are all degraded tier, so the
+/// explicit `degraded` marker is exercised too), and an exhausted
+/// ladder fails closed instead of running an uncertified config.
+fn scenario_step_down(table: &TuningTable) -> ValidationScenario {
+    let mut events = Vec::new();
+    let mut pass = true;
+    let mut check = |ok: bool, what: &str, events: &mut Vec<String>| {
+        if !ok {
+            pass = false;
+            events.push(format!("ASSERT FAIL: {what}"));
+        }
+    };
+
+    let cfg = RobustConfig::new(SortConfig {
+        device: Device::kepler_64bit_like(),
+        ..SortConfig::paper_e17_u256()
+    });
+    let mut svc = SortService::with_resilience(
+        cfg,
+        ResilienceConfig {
+            // Cooldown far above any modeled job time: an opened breaker
+            // stays open for the rest of the batch.
+            breaker: BreakerConfig { enabled: true, failure_threshold: 1, cooldown_s: 1.0 },
+            ..ResilienceConfig::default()
+        },
+    );
+    svc.enable_tuning(table.clone(), TuningPolicy::default()).expect("freshly built table");
+
+    let input = InputSpec::UniformRandom { seed: 90 }.generate(4500);
+    svc.submit_with_faults("trip-r0", input.clone(), SortAlgorithm::CfMerge, sticky_poison(), None);
+    svc.submit("stepped", input.clone(), SortAlgorithm::CfMerge);
+    svc.submit_with_faults("trip-r1", input.clone(), SortAlgorithm::CfMerge, sticky_poison(), None);
+    svc.submit("exhausted", input, SortAlgorithm::CfMerge);
+    let outcomes = svc.drain();
+    for o in &outcomes {
+        events.push(describe(o));
+    }
+
+    let rung0 = Some(SortParams::e17_u256());
+    let rung1 = Some(SortParams::e15_u512());
+    check(
+        outcomes[0].tuned == rung0 && outcomes[0].result.is_ok(),
+        "job 1 runs rung 0",
+        &mut events,
+    );
+    check(
+        outcomes[1].quarantined && outcomes[1].tuned == rung1 && outcomes[1].degraded,
+        "job 2 steps down to rung 1 with the degraded marker",
+        &mut events,
+    );
+    check(
+        outcomes[2].quarantined && outcomes[2].tuned == rung1,
+        "job 3 steps down and trips rung 1's breaker",
+        &mut events,
+    );
+    check(
+        matches!(&outcomes[3].result, Err(SortError::Uncertified { .. })),
+        "job 4 fails closed once the ladder is exhausted",
+        &mut events,
+    );
+    // The contract the ladder exists for: nothing ever ran off-ladder.
+    let ladder =
+        table.ladder_for(&Device::kepler_64bit_like().name, "cf-merge").expect("kepler cf ladder");
+    check(
+        outcomes.iter().filter_map(|o| o.tuned).all(|p| ladder.rung_for(p).is_some()),
+        "every executed config is on the ladder",
+        &mut events,
+    );
+    let sc = svc.counters();
+    check(
+        (sc.tuned_jobs, sc.ladder_steps, sc.uncertified_rejected, sc.breaker_opens) == (3, 2, 1, 2),
+        "counters: 3 tuned jobs, 2 ladder steps, 1 fail-closed rejection, 2 breaker opens",
+        &mut events,
+    );
+    events.push(format!(
+        "counters: tuned_jobs={} ladder_steps={} uncertified_rejected={} quarantined={} \
+         breaker_opens={}",
+        sc.tuned_jobs, sc.ladder_steps, sc.uncertified_rejected, sc.quarantined, sc.breaker_opens
+    ));
+    ValidationScenario { name: "breaker-trip ladder step-down".to_string(), pass, events }
+}
+
+/// Pinned scenario 2: a deterministic canary probes the candidate rung
+/// on its cadence; the poisoned probe is rescued by the fallback, so
+/// the candidate is rolled back and every later job stays on the
+/// previously active rung. The whole batch is replayed twice and the
+/// event logs must be bit-identical.
+fn scenario_canary_rollback(table: &TuningTable) -> ValidationScenario {
+    let run = || {
+        let mut svc = SortService::new(RobustConfig::new(SortConfig::paper_e17_u256()));
+        svc.enable_tuning(
+            table.clone(),
+            TuningPolicy {
+                canary: Some(CanaryPolicy {
+                    candidate: SortParams::e15_u512(),
+                    every: 3,
+                    promote_after: 2,
+                }),
+            },
+        )
+        .expect("freshly built table");
+        let input = InputSpec::UniformRandom { seed: 91 }.generate(4500);
+        for i in 1..=6 {
+            let plan = if i == 3 { sticky_poison() } else { FaultPlan::none() };
+            svc.submit_with_faults(
+                &format!("job-{i}"),
+                input.clone(),
+                SortAlgorithm::CfMerge,
+                plan,
+                None,
+            );
+        }
+        let outcomes = svc.drain();
+        let events: Vec<String> = outcomes.iter().map(describe).collect();
+        let sc = svc.counters();
+        (events, outcomes, (sc.canary_jobs, sc.canary_rollbacks, sc.canary_promotions))
+    };
+
+    let (mut events, outcomes, counters) = run();
+    let (events_replay, _, counters_replay) = run();
+    let mut pass = true;
+    let mut check = |ok: bool, what: &str, events: &mut Vec<String>| {
+        if !ok {
+            pass = false;
+            events.push(format!("ASSERT FAIL: {what}"));
+        }
+    };
+    check(
+        outcomes[2].canary && outcomes[2].tuned == Some(SortParams::e15_u512()),
+        "job 3 is the canary probe of the candidate rung",
+        &mut events,
+    );
+    check(
+        outcomes
+            .iter()
+            .enumerate()
+            .all(|(i, o)| i == 2 || (!o.canary && o.tuned == Some(SortParams::e17_u256()))),
+        "the rollback restores the prior rung for every other job",
+        &mut events,
+    );
+    check(counters == (1, 1, 0), "counters: 1 canary, 1 rollback, 0 promotions", &mut events);
+    check(
+        events == events_replay && counters == counters_replay,
+        "seeded replay is bit-identical",
+        &mut events,
+    );
+    events.push("replay: bit-identical".to_string());
+    ValidationScenario { name: "canary rollback".to_string(), pass, events }
+}
+
+fn load_table(path: &Path) -> Result<TuningTable, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let json = Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    TuningTable::from_json(&json).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let pinned_path = match args.as_slice() {
+        [] => None,
+        [flag, path] if flag == "--check" => Some(path.clone()),
+        _ => {
+            eprintln!("usage: tune [--check PINNED_TUNING.json]");
+            std::process::exit(2);
+        }
+    };
+
+    let mut failures = 0usize;
+    println!("=== tune: certified auto-tuner search ===");
+    let cert = build_certificate_table();
+    let mut table = build_tuning_table(&cert);
+    for ladder in &table.ladders {
+        println!(
+            "  {:<18} {:<8} {} rung(s), {} excluded",
+            ladder.profile,
+            ladder.algo,
+            ladder.rungs.len(),
+            ladder.excluded.len()
+        );
+        for r in &ladder.rungs {
+            println!(
+                "    rung {}: E={:<2} u={:<3} [{}] degree {} occ {:.2} modeled {:.3e}s",
+                r.rank,
+                r.e,
+                r.u,
+                r.tier.label(),
+                r.worst_degree,
+                r.occupancy,
+                r.modeled_cost_s
+            );
+        }
+    }
+
+    // ---- pinned rollout scenarios against the fresh table ----
+    println!("\n=== tune: rollout validation scenarios ===");
+    let scenarios = vec![scenario_step_down(&table), scenario_canary_rollback(&table)];
+    for s in &scenarios {
+        println!("  [{}] {}", if s.pass { "PASS" } else { "FAIL" }, s.name);
+        for e in &s.events {
+            println!("    {e}");
+        }
+        if !s.pass {
+            failures += 1;
+        }
+    }
+    table.validation = scenarios;
+
+    // ---- drift check against a pinned table ----
+    if let Some(path) = &pinned_path {
+        println!("\n=== tune: drift check vs {path} ===");
+        match load_table(Path::new(path)) {
+            Ok(pinned) => {
+                if pinned == table {
+                    println!(
+                        "  no drift: {} ladders bit-stable (checksum {})",
+                        table.ladders.len(),
+                        table.checksum
+                    );
+                } else {
+                    failures += 1;
+                    if pinned.checksum != table.checksum {
+                        println!(
+                            "  DRIFT: ladder checksum {} -> {}",
+                            pinned.checksum, table.checksum
+                        );
+                    }
+                    for l in &table.ladders {
+                        match pinned.ladder_for(&l.device, &l.algo) {
+                            Some(p) if p == l => {}
+                            Some(_) => println!("  DRIFT: ladder {}/{} changed", l.profile, l.algo),
+                            None => println!("  DRIFT: ladder {}/{} is new", l.profile, l.algo),
+                        }
+                    }
+                    if pinned.validation != table.validation {
+                        println!("  DRIFT: validation scenario logs changed");
+                    }
+                    println!("  regenerate and review the pinned results/tuning.json");
+                }
+            }
+            Err(e) => {
+                failures += 1;
+                println!("  cannot load pinned table: {e}");
+            }
+        }
+    }
+
+    // ---- emit artifacts ----
+    let dir = RunArtifact::results_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("tune: cannot create {}: {e}", dir.display());
+        std::process::exit(1);
+    }
+    let table_path = dir.join("tuning.json");
+    let mut text = table.to_json().to_string_pretty();
+    text.push('\n');
+    if let Err(e) = std::fs::write(&table_path, text) {
+        eprintln!("tune: cannot write {}: {e}", table_path.display());
+        std::process::exit(1);
+    }
+    eprintln!("artifact: {}", table_path.display());
+
+    let total =
+        |tier: RungTier| -> usize { table.ladders.iter().map(|l| l.tier_count(tier)).sum() };
+    let ladder_rows = Json::arr(table.ladders.iter().map(|l| {
+        Json::obj([
+            ("ladder", Json::from(format!("{}/{}", l.profile, l.algo))),
+            ("rungs", Json::from(l.rungs.len())),
+            ("certified", Json::from(l.tier_count(RungTier::Certified))),
+            ("degraded", Json::from(l.tier_count(RungTier::Degraded))),
+            ("excluded", Json::from(l.excluded.len())),
+        ])
+    }));
+    let mut art = RunArtifact::new("tune", Device::rtx2080ti());
+    art.add_summary(
+        "tuning",
+        Json::obj([
+            ("schema", Json::from(table.schema)),
+            ("cert_schema", Json::from(table.cert_schema)),
+            ("checksum", Json::from(table.checksum.as_str())),
+            ("ladder_count", Json::from(table.ladders.len())),
+            ("rungs", Json::from(table.ladders.iter().map(|l| l.rungs.len()).sum::<usize>())),
+            ("certified", Json::from(total(RungTier::Certified))),
+            ("degraded", Json::from(total(RungTier::Degraded))),
+            ("excluded", Json::from(table.ladders.iter().map(|l| l.excluded.len()).sum::<usize>())),
+            ("validation_scenarios", Json::from(table.validation.len())),
+            (
+                "validation_failures",
+                Json::from(table.validation.iter().filter(|s| !s.pass).count()),
+            ),
+            ("ladders", ladder_rows),
+        ]),
+    );
+    art.add_summary("failures", Json::from(failures as u64));
+    emit(&art);
+
+    if failures > 0 {
+        eprintln!("tune: {failures} failure(s)");
+        std::process::exit(1);
+    }
+    println!(
+        "\ntune: {} ladders ({} certified + {} degraded rungs, {} excluded configs); \
+         all rollout scenarios pass.",
+        table.ladders.len(),
+        total(RungTier::Certified),
+        total(RungTier::Degraded),
+        table.ladders.iter().map(|l| l.excluded.len()).sum::<usize>()
+    );
+}

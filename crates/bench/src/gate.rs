@@ -261,6 +261,12 @@ pub fn gate_artifacts(
         (None, _) => {}
     }
 
+    match (baseline.summaries.get("tuning"), current.summaries.get("tuning")) {
+        (Some(base), Some(cur)) => gate_tuning(&mut gate, base, cur),
+        (Some(_), None) => gate.report.missing.push("tuning summary".into()),
+        (None, _) => {}
+    }
+
     gate.report
 }
 
@@ -302,6 +308,66 @@ fn gate_certificates(gate: &mut Gate<'_>, base: &Json, cur: &Json) {
                 format!("certificates/{name}/{field}")
             };
             gate.check(metric, "certificates", b, c);
+        }
+    }
+}
+
+/// Gate the auto-tuner coverage block (`summaries.tuning`): the ladder
+/// checksum, the scalar totals, and every ladder's rung/tier counts must
+/// match exactly. A ladder whose `certified` or `rungs` count *fell* is
+/// flagged as coverage loss — launch configs the degradation ladder used
+/// to be able to run were silently pushed off it, which shrinks the
+/// space the service can degrade into before failing closed.
+fn gate_tuning(gate: &mut Gate<'_>, base: &Json, cur: &Json) {
+    match (base.get("checksum").and_then(Json::as_str), cur.get("checksum").and_then(Json::as_str))
+    {
+        (Some(b), Some(c)) if b != c => {
+            gate.report.missing.push(format!("tuning checksum match (ladders drifted: {b} -> {c})"))
+        }
+        (Some(_), None) => gate.report.missing.push("tuning field `checksum`".into()),
+        _ => {}
+    }
+    for key in [
+        "schema",
+        "cert_schema",
+        "ladder_count",
+        "rungs",
+        "certified",
+        "degraded",
+        "excluded",
+        "validation_scenarios",
+        "validation_failures",
+    ] {
+        match (base.get(key).and_then(Json::as_f64), cur.get(key).and_then(Json::as_f64)) {
+            (Some(b), Some(c)) => gate.check(format!("tuning/{key}"), "tuning", b, c),
+            (Some(_), None) => gate.report.missing.push(format!("tuning field `{key}`")),
+            (None, _) => {}
+        }
+    }
+    let ladders = |v: &Json| -> Vec<Json> {
+        v.get("ladders").and_then(Json::as_arr).map(<[Json]>::to_vec).unwrap_or_default()
+    };
+    let cur_rows = ladders(cur);
+    for brow in ladders(base) {
+        let Some(name) = brow.get("ladder").and_then(Json::as_str) else { continue };
+        let Some(crow) =
+            cur_rows.iter().find(|r| r.get("ladder").and_then(Json::as_str) == Some(name))
+        else {
+            gate.report.missing.push(format!("tuning ladder `{name}`"));
+            continue;
+        };
+        for field in ["rungs", "certified", "degraded", "excluded"] {
+            let (Some(b), Some(c)) =
+                (brow.get(field).and_then(Json::as_f64), crow.get(field).and_then(Json::as_f64))
+            else {
+                continue;
+            };
+            let metric = if matches!(field, "rungs" | "certified") && c < b {
+                format!("tuning/{name}/{field} [COVERAGE LOSS: the degradation ladder shrank]")
+            } else {
+                format!("tuning/{name}/{field}")
+            };
+            gate.check(metric, "tuning", b, c);
         }
     }
 }
@@ -491,6 +557,67 @@ mod tests {
         assert!(report.missing.iter().any(|m| m.contains("certificates")));
         // The reverse — current gained certification — is fine.
         assert!(gate_artifacts(&no_cert, &base, &GateConfig::exact()).passed());
+    }
+
+    fn tuning_summary(certified: u64, checksum: &str) -> Json {
+        Json::obj([
+            ("schema", Json::from(1u64)),
+            ("cert_schema", Json::from(1u64)),
+            ("checksum", Json::from(checksum)),
+            ("ladder_count", Json::from(6u64)),
+            ("rungs", Json::from(certified + 2)),
+            ("certified", Json::from(certified)),
+            ("degraded", Json::from(2u64)),
+            ("excluded", Json::from(12u64)),
+            ("validation_scenarios", Json::from(2u64)),
+            ("validation_failures", Json::from(0u64)),
+            (
+                "ladders",
+                Json::Arr(vec![Json::obj([
+                    ("ladder", Json::from("rtx2080ti/cf-merge")),
+                    ("rungs", Json::from(certified)),
+                    ("certified", Json::from(certified)),
+                    ("degraded", Json::from(0u64)),
+                    ("excluded", Json::from(1u64)),
+                ])]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn tuning_drift_and_ladder_shrink_fail_the_gate() {
+        let mut base = sample();
+        base.add_summary("tuning", tuning_summary(4, "fnv1a64:00ff"));
+        let report = gate_artifacts(&base, &base, &GateConfig::exact());
+        assert!(report.passed(), "{}", report.render());
+
+        // A ladder that lost certified rungs is flagged as coverage loss:
+        // the service has less room to degrade into before failing
+        // closed.
+        let mut cur = sample();
+        cur.add_summary("tuning", tuning_summary(2, "fnv1a64:00ff"));
+        let report = gate_artifacts(&base, &cur, &GateConfig::exact());
+        assert!(!report.passed());
+        assert!(
+            report.violations.iter().any(|v| v.metric.contains("COVERAGE LOSS")),
+            "{}",
+            report.render()
+        );
+
+        // A checksum drift alone fails even when every count matches.
+        let mut cur = sample();
+        cur.add_summary("tuning", tuning_summary(4, "fnv1a64:beef"));
+        let report = gate_artifacts(&base, &cur, &GateConfig::exact());
+        assert!(!report.passed());
+        assert!(report.missing.iter().any(|m| m.contains("checksum")), "{}", report.render());
+
+        // Dropping the tuning block entirely is missing coverage; the
+        // reverse — current gained a tuner — is fine.
+        let no_tuning = sample();
+        let report = gate_artifacts(&base, &no_tuning, &GateConfig::exact());
+        assert!(!report.passed());
+        assert!(report.missing.iter().any(|m| m.contains("tuning")));
+        assert!(gate_artifacts(&no_tuning, &base, &GateConfig::exact()).passed());
     }
 
     #[test]

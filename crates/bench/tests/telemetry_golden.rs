@@ -99,6 +99,21 @@ fn every_pinned_results_artifact_parses() {
         if path.extension().is_some_and(|e| e == "json")
             && !path.to_string_lossy().contains("perfetto")
         {
+            if path.file_name().is_some_and(|n| n == "tuning.json") {
+                // The tuning table is pinned raw (docs/CERTIFICATION.md
+                // describes its schema); hold it to its own loader and
+                // its own checksum.
+                let text = std::fs::read_to_string(&path).expect("readable");
+                let json = cfmerge_json::Json::parse(&text)
+                    .unwrap_or_else(|e| panic!("{} must parse: {e}", path.display()));
+                let table = cfmerge_core::tuning::TuningTable::from_json(&json)
+                    .unwrap_or_else(|e| panic!("{} must load: {e}", path.display()));
+                table
+                    .verify()
+                    .unwrap_or_else(|e| panic!("{} checksum must verify: {e}", path.display()));
+                checked += 1;
+                continue;
+            }
             if path.file_name().is_some_and(|n| n == "certificates.json") {
                 // The certificate table is the one pinned JSON with its
                 // own schema (docs/CERTIFICATION.md); hold it to its own

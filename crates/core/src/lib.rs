@@ -43,5 +43,6 @@ pub mod recovery;
 pub mod resilience;
 pub mod sort;
 pub mod telemetry;
+pub mod tuning;
 pub mod verify;
 pub mod worst_case;

@@ -45,6 +45,18 @@ impl SortParams {
         Self { e: 17, u: 256 }
     }
 
+    /// The service stack's historical known-good substitute config —
+    /// Thrust's shipped `E = 17, u = 256`, which launches on every
+    /// supported device and is coprime with `w = 32`. This is the single
+    /// definition behind breaker quarantine and unlaunchable-config
+    /// substitution; a service with a tuning ladder installed
+    /// (`crate::tuning`) supersedes it by stepping down certified rungs
+    /// instead.
+    #[must_use]
+    pub fn known_good_default() -> Self {
+        Self::e17_u256()
+    }
+
     /// Keys per block tile (`u·E`).
     #[must_use]
     pub fn tile(&self) -> usize {

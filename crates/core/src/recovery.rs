@@ -856,7 +856,7 @@ fn simulate_sort_robust_inner<K: SortKey>(
     match validate_sort_config(&cfg) {
         Ok(()) => {}
         Err(SortError::Unlaunchable { device, why }) if config.allow_fallback => {
-            let sub = SortParams::e17_u256();
+            let sub = SortParams::known_good_default();
             degradations.push(Degradation::ParamsSubstituted {
                 from: (cfg.params.e, cfg.params.u),
                 to: (sub.e, sub.u),

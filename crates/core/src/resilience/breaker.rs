@@ -5,8 +5,11 @@
 //! A breaker watches the outcomes of jobs routed at its launch config.
 //! `failure_threshold` consecutive failures (an unrecoverable fault, or
 //! a run rescued only by the Thrust fallback) open it; while open, jobs
-//! are quarantined onto the known-good `E=17, u=256` config instead of
-//! the poisoned one. After `cooldown_s` modeled seconds the breaker
+//! are quarantined onto the known-good config
+//! ([`SortParams::known_good_default`](crate::params::SortParams::known_good_default))
+//! instead of the poisoned one — or, when a tuning ladder is installed
+//! ([`crate::tuning`]), onto the next certified rung below the tripped
+//! one. After `cooldown_s` modeled seconds the breaker
 //! half-opens and the next job probes the original config: success
 //! closes the breaker, failure re-opens it for another cooldown. All
 //! transitions are logged with their modeled timestamps, and the legal

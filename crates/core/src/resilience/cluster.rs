@@ -39,6 +39,7 @@
 use cfmerge_gpu_sim::fault::FaultPlan;
 use cfmerge_json::{Json, ToJson};
 
+use crate::params::SortParams;
 use crate::recovery::{
     resume_sort_robust, simulate_sort_robust_checkpointed, RobustConfig, RobustSortRun,
 };
@@ -51,6 +52,7 @@ use crate::resilience::service::{ResilienceConfig, ServiceCounters, SortService}
 use crate::sort::pipeline::SortAlgorithm;
 use crate::sort::SortError;
 use crate::telemetry::{MetricsRegistry, MetricsSnapshot};
+use crate::tuning::{TuningPolicy, TuningTable};
 
 /// Handle to a job submitted to a [`ClusterService`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -237,6 +239,15 @@ pub struct ClusterOutcome {
     pub quarantined: bool,
     /// The job was a half-open breaker probe.
     pub probe: bool,
+    /// The job ran on a `degraded`-tier rung of the device's tuning
+    /// ladder (always `false` without tuning).
+    pub degraded: bool,
+    /// The job was a deterministic canary probe of the tuning policy's
+    /// candidate rung.
+    pub canary: bool,
+    /// The launch parameters the device's tuning ladder ran the job on
+    /// (`None` without tuning and for jobs that never executed).
+    pub tuned: Option<SortParams>,
     /// The per-block retry cap the budget granted this job.
     pub retries_granted: u32,
 }
@@ -402,6 +413,7 @@ pub struct ClusterService {
     arrivals: Vec<PendingJob>,
     next_id: u64,
     telemetry: bool,
+    tuning: Option<(TuningTable, TuningPolicy)>,
 }
 
 impl ClusterService {
@@ -412,13 +424,35 @@ impl ClusterService {
     #[must_use]
     pub fn new(config: ClusterConfig) -> Self {
         assert!(!config.devices.is_empty(), "a cluster needs at least one device");
-        Self { config, arrivals: Vec::new(), next_id: 0, telemetry: false }
+        Self { config, arrivals: Vec::new(), next_id: 0, telemetry: false, tuning: None }
     }
 
     /// Switch cluster telemetry on (the zero-cost-observer pattern:
     /// purely observational, never feeds back into modeled time).
     pub fn enable_telemetry(&mut self) {
         self.telemetry = true;
+    }
+
+    /// Install a tuning ladder on every device's inner [`SortService`]
+    /// for all subsequent [`ClusterService::run`] calls. The table is
+    /// verified fail-closed up front (see
+    /// [`SortService::enable_tuning`]); each device then routes through
+    /// its *own* ladder (matched by device name), so a heterogeneous
+    /// fleet degrades per-profile.
+    pub fn enable_tuning(
+        &mut self,
+        table: TuningTable,
+        policy: TuningPolicy,
+    ) -> Result<(), SortError> {
+        if let Err(why) = table.verify() {
+            return Err(SortError::Uncertified {
+                algo: "*".to_string(),
+                device: "cluster".to_string(),
+                why,
+            });
+        }
+        self.tuning = Some((table, policy));
+        Ok(())
     }
 
     /// Submit a production job: default tenant, interactive priority,
@@ -517,9 +551,14 @@ impl ClusterService {
                     admission: crate::resilience::admission::AdmissionConfig::default(),
                     ..self.config.resilience
                 };
+                let mut svc = SortService::with_resilience(cfg.clone(), inner);
+                if let Some((table, policy)) = &self.tuning {
+                    svc.enable_tuning(table.clone(), *policy)
+                        .expect("table was verified at ClusterService::enable_tuning");
+                }
                 DeviceSlot {
                     cfg: cfg.clone(),
-                    svc: SortService::with_resilience(cfg.clone(), inner),
+                    svc,
                     timeline: DeviceTimeline::compile(&self.config.faults, d),
                     queue: Vec::new(),
                     up: true,
@@ -791,6 +830,9 @@ impl Sim {
             result: Err(err),
             quarantined: false,
             probe: false,
+            degraded: false,
+            canary: false,
+            tuned: None,
             retries_granted: 0,
         });
     }
@@ -1075,6 +1117,9 @@ impl Sim {
             result: Err(err),
             quarantined: false,
             probe: false,
+            degraded: false,
+            canary: false,
+            tuned: None,
             retries_granted: 0,
         });
     }
@@ -1146,6 +1191,9 @@ impl Sim {
             result: outcome.result,
             quarantined: outcome.quarantined,
             probe: outcome.probe,
+            degraded: outcome.degraded,
+            canary: outcome.canary,
+            tuned: outcome.tuned,
             retries_granted: outcome.retries_granted,
         });
         if eff > 0.0 {
@@ -1554,5 +1602,55 @@ mod tests {
         let ta = a.telemetry.expect("telemetry on").to_json().to_string_pretty();
         let tb = b.telemetry.expect("telemetry on").to_json().to_string_pretty();
         assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn heterogeneous_fleet_tunes_per_device_profile() {
+        use crate::cert::build_certificate_table;
+        use crate::tuning::{build_tuning_table, RungTier, TuningPolicy};
+        use cfmerge_gpu_sim::device::Device;
+
+        // Device 0 is the rtx profile (certified cf ladder), device 1
+        // the 64-bit-bank profile (every cf rung degraded tier): each
+        // device must route through its *own* ladder.
+        let table = build_tuning_table(&build_certificate_table());
+        let rtx = RobustConfig::new(SortConfig::paper_e17_u256());
+        let kepler = RobustConfig::new(SortConfig {
+            device: Device::kepler_64bit_like(),
+            ..SortConfig::paper_e17_u256()
+        });
+        let mut cfg = ClusterConfig::homogeneous(2, rtx.clone());
+        cfg.devices = vec![rtx.clone(), kepler.clone()];
+        let mut cluster = ClusterService::new(cfg);
+        cluster.enable_tuning(table.clone(), TuningPolicy::default()).expect("table verifies");
+
+        let input = InputSpec::UniformRandom { seed: 95 }.generate(4500);
+        for i in 0..4 {
+            cluster.submit(&format!("job-{i}"), input.clone(), SortAlgorithm::CfMerge);
+        }
+        cluster.submit("thrust-job", input, SortAlgorithm::ThrustMergesort);
+        let report = cluster.run();
+
+        let device_of = |d: usize| if d == 0 { &rtx } else { &kepler };
+        for o in &report.outcomes {
+            if o.label == "thrust-job" {
+                // No certified thrust rung exists on any profile.
+                assert!(matches!(&o.result, Err(SortError::Uncertified { .. })));
+                assert_eq!(o.tuned, None);
+                continue;
+            }
+            assert!(o.result.is_ok(), "{}: {:?}", o.label, o.result);
+            let d = o.device.expect("executed jobs name their device");
+            let dev_name = &device_of(d).base.device.name;
+            let ladder = table.ladder_for(dev_name, "cf-merge").expect("cf ladder");
+            let params = o.tuned.expect("tuned jobs record their params");
+            let rung = ladder.rung_for(params).expect("executed config is on the ladder");
+            assert_eq!(o.degraded, rung.tier == RungTier::Degraded);
+        }
+        // Both tiers were actually exercised: work landed on each device.
+        assert!(report.outcomes.iter().any(|o| o.degraded));
+        assert!(report.outcomes.iter().any(|o| o.tuned.is_some() && !o.degraded));
+        assert_eq!(report.counters.uncertified_rejected, 1);
+        assert_eq!(report.counters.tuned_jobs, 4);
     }
 }

@@ -25,6 +25,7 @@ use crate::resilience::checkpoint::{CheckpointPolicy, SortCheckpoint};
 use crate::sort::pipeline::SortAlgorithm;
 use crate::sort::SortError;
 use crate::telemetry::{MetricsRegistry, MetricsSnapshot};
+use crate::tuning::{RungTier, TuningPolicy, TuningTable};
 
 /// Handle to a job submitted to a [`SortService`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -96,6 +97,18 @@ pub struct JobOutcome {
     pub quarantined: bool,
     /// The job was a half-open breaker probe.
     pub probe: bool,
+    /// The job ran on a `degraded`-tier rung of the tuning ladder — a
+    /// certified bounded-degree config that is *not* conflict-free.
+    /// Always `false` without tuning (the explicit marker the ladder
+    /// contract requires).
+    pub degraded: bool,
+    /// The job was a deterministic canary probe of the tuning policy's
+    /// candidate rung.
+    pub canary: bool,
+    /// The launch parameters the tuning ladder actually ran the job on
+    /// (`None` without tuning, for resumes, and for fail-closed
+    /// rejections).
+    pub tuned: Option<SortParams>,
     /// The per-block retry cap the budget granted this job.
     pub retries_granted: u32,
     /// Checkpoints captured during the run (empty unless the job was
@@ -182,6 +195,21 @@ pub struct ServiceCounters {
     pub migrations_failed: u64,
     /// Jobs a free device stole from another device's queue.
     pub steals: u64,
+    /// Fresh jobs whose launch config was selected from a tuning ladder.
+    pub tuned_jobs: u64,
+    /// Total rungs stepped down the ladder by open breakers.
+    pub ladder_steps: u64,
+    /// Jobs refused with [`SortError::Uncertified`]: no ladder for the
+    /// pipeline/device, an empty ladder, or a ladder exhausted by open
+    /// breakers. Such jobs never execute an uncertified config.
+    pub uncertified_rejected: u64,
+    /// Jobs routed to the canary candidate rung.
+    pub canary_jobs: u64,
+    /// Canary candidates rolled back (a failed or degraded canary run,
+    /// or a candidate the ladder does not certify).
+    pub canary_rollbacks: u64,
+    /// Canary candidates promoted to the active rung.
+    pub canary_promotions: u64,
 }
 
 impl ServiceCounters {
@@ -211,12 +239,18 @@ impl ServiceCounters {
         self.migrations += other.migrations;
         self.migrations_failed += other.migrations_failed;
         self.steals += other.steals;
+        self.tuned_jobs += other.tuned_jobs;
+        self.ladder_steps += other.ladder_steps;
+        self.uncertified_rejected += other.uncertified_rejected;
+        self.canary_jobs += other.canary_jobs;
+        self.canary_rollbacks += other.canary_rollbacks;
+        self.canary_promotions += other.canary_promotions;
     }
 }
 
 impl ToJson for ServiceCounters {
     fn to_json(&self) -> Json {
-        Json::obj([
+        let mut pairs = vec![
             ("submitted", Json::from(self.submitted)),
             ("admitted", Json::from(self.admitted)),
             ("executed", Json::from(self.executed)),
@@ -241,7 +275,23 @@ impl ToJson for ServiceCounters {
             ("migrations", Json::from(self.migrations)),
             ("migrations_failed", Json::from(self.migrations_failed)),
             ("steals", Json::from(self.steals)),
-        ])
+        ];
+        // Tuner-era fields are emitted only when nonzero, so every
+        // artifact pinned before the tuner existed — and every run with
+        // tuning off — stays bit-identical.
+        for (name, value) in [
+            ("tuned_jobs", self.tuned_jobs),
+            ("ladder_steps", self.ladder_steps),
+            ("uncertified_rejected", self.uncertified_rejected),
+            ("canary_jobs", self.canary_jobs),
+            ("canary_rollbacks", self.canary_rollbacks),
+            ("canary_promotions", self.canary_promotions),
+        ] {
+            if value != 0 {
+                pairs.push((name, Json::from(value)));
+            }
+        }
+        Json::obj(pairs)
     }
 }
 
@@ -273,6 +323,13 @@ impl FromJson for ServiceCounters {
             migrations: v.field_opt("migrations")?.unwrap_or(0),
             migrations_failed: v.field_opt("migrations_failed")?.unwrap_or(0),
             steals: v.field_opt("steals")?.unwrap_or(0),
+            // Tuner-era fields: omitted whenever zero.
+            tuned_jobs: v.field_opt("tuned_jobs")?.unwrap_or(0),
+            ladder_steps: v.field_opt("ladder_steps")?.unwrap_or(0),
+            uncertified_rejected: v.field_opt("uncertified_rejected")?.unwrap_or(0),
+            canary_jobs: v.field_opt("canary_jobs")?.unwrap_or(0),
+            canary_rollbacks: v.field_opt("canary_rollbacks")?.unwrap_or(0),
+            canary_promotions: v.field_opt("canary_promotions")?.unwrap_or(0),
         })
     }
 }
@@ -295,6 +352,34 @@ pub struct SortService {
     /// modeled time, so enabling telemetry leaves every job outcome and
     /// modeled second bit-identical).
     telemetry: Option<MetricsRegistry>,
+    /// Opt-in certified auto-tuning (same pattern: `None` — the default
+    /// — reproduces the legacy service bit for bit).
+    tuning: Option<TuningState>,
+}
+
+/// Live state of an installed tuning ladder: the verified table, the
+/// canary policy, and the per-pipeline active rung.
+struct TuningState {
+    table: TuningTable,
+    policy: TuningPolicy,
+    /// Active rung rank per pipeline label, initialized lazily from the
+    /// base config's position on the ladder (rung 0 if the base config
+    /// is not on it).
+    active: Vec<(String, usize)>,
+    /// Fresh admitted jobs seen so far — the deterministic canary clock.
+    fresh_admitted: u64,
+    /// Consecutive successful canary runs of the current candidate.
+    canary_successes: u32,
+    /// The candidate was promoted or rolled back; no more canaries fire.
+    canary_retired: bool,
+}
+
+/// One ladder decision for one job.
+struct TuningChoice {
+    params: SortParams,
+    rank: usize,
+    degraded: bool,
+    canary: bool,
 }
 
 impl SortService {
@@ -318,7 +403,156 @@ impl SortService {
             clock_s: 0.0,
             counters: ServiceCounters::default(),
             telemetry: None,
+            tuning: None,
         }
+    }
+
+    /// Install a tuning ladder and canary policy. From here on fresh
+    /// jobs launch on their pipeline's active rung, open breakers step
+    /// *down* the ladder instead of jumping to
+    /// [`SortParams::known_good_default`], requests the ladder cannot
+    /// certify fail closed with [`SortError::Uncertified`], and the
+    /// canary policy (if any) deterministically probes its candidate
+    /// rung. The table is verified fail-closed: a schema or checksum
+    /// mismatch rejects the install and leaves the service untouched.
+    pub fn enable_tuning(
+        &mut self,
+        table: TuningTable,
+        policy: TuningPolicy,
+    ) -> Result<(), SortError> {
+        if let Err(why) = table.verify() {
+            return Err(SortError::Uncertified {
+                algo: "*".to_string(),
+                device: self.config.base.device.name.clone(),
+                why,
+            });
+        }
+        self.tuning = Some(TuningState {
+            table,
+            policy,
+            active: Vec::new(),
+            fresh_admitted: 0,
+            canary_successes: 0,
+            canary_retired: false,
+        });
+        Ok(())
+    }
+
+    /// Ladder admission for one fresh job: pick the active rung (or the
+    /// canary candidate on its deterministic cadence), or fail closed.
+    /// Only called when tuning is installed.
+    fn tuning_select(&mut self, algo: &str) -> Result<TuningChoice, SortError> {
+        let device = self.config.base.device.name.clone();
+        let base = self.config.base.params;
+        let state = self.tuning.as_mut().expect("caller checked tuning is installed");
+        let Some(ladder) = state.table.ladder_for(&device, algo) else {
+            return Err(SortError::Uncertified {
+                algo: algo.to_string(),
+                device,
+                why: "no ladder for this pipeline/device in the tuning table".to_string(),
+            });
+        };
+        if ladder.rungs.is_empty() {
+            let why = match ladder.excluded.first() {
+                Some(x) => format!(
+                    "the ladder has no certified rungs (e.g. E={}, u={} excluded: {})",
+                    x.e, x.u, x.reason
+                ),
+                None => "the ladder has no certified rungs".to_string(),
+            };
+            return Err(SortError::Uncertified { algo: algo.to_string(), device, why });
+        }
+        // Lazy active-rank init: start from the base config's rung when
+        // the ladder certifies it, else from the ladder's best rung.
+        let active_rank = match state.active.iter().find(|(a, _)| a == algo) {
+            Some((_, rank)) => *rank,
+            None => {
+                let rank = ladder.rung_for(base).map_or(0, |rg| rg.rank);
+                state.active.push((algo.to_string(), rank));
+                rank
+            }
+        };
+        state.fresh_admitted += 1;
+
+        // Deterministic canary: on its cadence, probe the candidate rung
+        // instead of the active one. A candidate the ladder does not
+        // certify is rejected (a rollback) the first time it would fire.
+        if let Some(canary) = state.policy.canary {
+            if !state.canary_retired && canary.fires_on(state.fresh_admitted) {
+                match ladder.rung_for(canary.candidate) {
+                    Some(rung) if rung.rank != active_rank => {
+                        return Ok(TuningChoice {
+                            params: rung.params(),
+                            rank: rung.rank,
+                            degraded: rung.tier == RungTier::Degraded,
+                            canary: true,
+                        });
+                    }
+                    Some(_) => {
+                        // Candidate is already the active rung: nothing
+                        // to probe, retire the policy quietly.
+                        state.canary_retired = true;
+                    }
+                    None => {
+                        state.canary_retired = true;
+                        self.counters.canary_rollbacks += 1;
+                    }
+                }
+            }
+        }
+
+        let rung = &ladder.rungs[active_rank];
+        Ok(TuningChoice {
+            params: rung.params(),
+            rank: rung.rank,
+            degraded: rung.tier == RungTier::Degraded,
+            canary: false,
+        })
+    }
+
+    /// The breaker at `from_rank` is open: walk down the ladder to the
+    /// first rung whose own breaker is not open, or fail closed when the
+    /// ladder is exhausted. Returns the substitute choice and the number
+    /// of rungs stepped.
+    fn tuning_step_down(
+        &mut self,
+        algo: &str,
+        from_rank: usize,
+    ) -> Result<(TuningChoice, u64), SortError> {
+        // Snapshot the open breakers first (disjoint from tuning state).
+        let open: Vec<(usize, usize)> = self
+            .breakers
+            .iter()
+            .filter(|((label, _, _), b)| label == algo && b.state() == BreakerState::Open)
+            .map(|((_, e, u), _)| (*e, *u))
+            .collect();
+        let device = self.config.base.device.name.clone();
+        let state = self.tuning.as_ref().expect("caller checked tuning is installed");
+        let ladder = state
+            .table
+            .ladder_for(&device, algo)
+            .expect("step-down only happens after a successful select");
+        for rung in &ladder.rungs[from_rank + 1..] {
+            if !open.contains(&(rung.e, rung.u)) {
+                return Ok((
+                    TuningChoice {
+                        params: rung.params(),
+                        rank: rung.rank,
+                        degraded: rung.tier == RungTier::Degraded,
+                        canary: false,
+                    },
+                    (rung.rank - from_rank) as u64,
+                ));
+            }
+        }
+        Err(SortError::Uncertified {
+            algo: algo.to_string(),
+            device,
+            why: format!(
+                "degradation ladder exhausted below rung {from_rank}: every lower rung's \
+                 breaker is open"
+            ),
+        })
     }
 
     /// Lifetime resilience tallies.
@@ -656,6 +890,9 @@ impl SortService {
                 result: Err(err),
                 quarantined: false,
                 probe: false,
+                degraded: false,
+                canary: false,
+                tuned: None,
                 retries_granted: 0,
                 checkpoints: Vec::new(),
             };
@@ -671,21 +908,58 @@ impl SortService {
                 result: Err(SortError::Cancelled),
                 quarantined: false,
                 probe: false,
+                degraded: false,
+                canary: false,
+                tuned: None,
                 retries_granted: 0,
                 checkpoints: Vec::new(),
             };
         }
+
+        // Ladder admission (only when tuning is installed): fresh jobs
+        // launch on their pipeline's active rung — or the canary
+        // candidate on its deterministic cadence — and requests the
+        // ladder cannot certify fail closed before touching the
+        // breakers or the budget. Resumes stay pinned to their
+        // checkpoint's launch config.
+        let is_resume = matches!(job.payload, Payload::Resume { .. });
+        let mut choice: Option<TuningChoice> = None;
+        if self.tuning.is_some() && !is_resume {
+            match self.tuning_select(&job.algo_label()) {
+                Ok(c) => choice = Some(c),
+                Err(err) => {
+                    self.counters.uncertified_rejected += 1;
+                    if let Some(reg) = &mut self.telemetry {
+                        reg.inc("service_uncertified_rejected_total", 1);
+                    }
+                    return JobOutcome {
+                        id: job.id,
+                        label: job.label,
+                        result: Err(err),
+                        quarantined: false,
+                        probe: false,
+                        degraded: false,
+                        canary: false,
+                        tuned: None,
+                        retries_granted: 0,
+                        checkpoints: Vec::new(),
+                    };
+                }
+            }
+        }
         self.counters.executed += 1;
 
-        // Breaker routing. Resumes are pinned to their checkpoint's
-        // launch config, so they bypass the breaker entirely: they can
-        // neither be quarantined (the checkpoint's shape would not
-        // match) nor serve as probes.
-        let is_resume = matches!(job.payload, Payload::Resume { .. });
-        let key = (job.algo_label(), self.config.base.params.e, self.config.base.params.u);
+        // Breaker routing on the rung (or legacy base config) the job
+        // was admitted at. Resumes bypass the breaker entirely: they
+        // can neither be quarantined (the checkpoint's shape would not
+        // match) nor serve as probes. Canary jobs also bypass it — a
+        // probe of the candidate rung must not perturb breaker state.
+        let routed_params = choice.as_ref().map_or(self.config.base.params, |c| c.params);
+        let is_canary = choice.as_ref().is_some_and(|c| c.canary);
+        let key = (job.algo_label(), routed_params.e, routed_params.u);
         let transitions_before =
             self.breakers.iter().find(|(k, _)| *k == key).map_or(0, |(_, b)| b.transitions().len());
-        let route = if self.resilience.breaker.enabled && !is_resume {
+        let route = if self.resilience.breaker.enabled && !is_resume && !is_canary {
             let now = self.clock_s;
             self.breaker_for(key.clone()).route(now)
         } else {
@@ -700,42 +974,85 @@ impl SortService {
             self.counters.probes += 1;
         }
 
+        // An open breaker quarantines the job. A tuned service steps
+        // DOWN the ladder to the first rung whose own breaker is not
+        // open — failing closed when the ladder is exhausted — while
+        // the legacy service substitutes the known-good constant.
+        let mut preempt: Option<SortError> = None;
+        let mut exec_params = routed_params;
+        if quarantined {
+            match &choice {
+                Some(c) => match self.tuning_step_down(&job.algo_label(), c.rank) {
+                    Ok((sub, steps)) => {
+                        self.counters.ladder_steps += steps;
+                        exec_params = sub.params;
+                        choice = Some(sub);
+                    }
+                    Err(err) => {
+                        self.counters.uncertified_rejected += 1;
+                        preempt = Some(err);
+                    }
+                },
+                None => exec_params = SortParams::known_good_default(),
+            }
+        }
+        let preempted = preempt.is_some();
+
+        // Which breaker the outcome feeds: the executed rung's. A
+        // legacy quarantined run feeds nothing (a known-good run says
+        // nothing about the poisoned config), but a tuned stepped-down
+        // run DOES feed the rung it executed on — that is what lets a
+        // persistent fault cascade breakers open down the ladder.
+        let feed_key: Option<(String, usize, usize)> =
+            if !self.resilience.breaker.enabled || is_resume || is_canary || preempted {
+                None
+            } else if quarantined {
+                choice.as_ref().map(|_| (job.algo_label(), exec_params.e, exec_params.u))
+            } else {
+                Some(key.clone())
+            };
+        let feed_transitions_before = feed_key.as_ref().filter(|fk| **fk != key).map(|fk| {
+            self.breakers.iter().find(|(k, _)| k == fk).map_or(0, |(_, b)| b.transitions().len())
+        });
+
         // Budget grant: the effective per-block retry cap for this job.
+        // A preempted job executes nothing and draws no tokens.
         self.budget.advance_to(self.clock_s);
         let want = self.config.max_retries;
-        let granted = self.budget.grant(want);
-        if granted < want {
+        let granted = if preempted { 0 } else { self.budget.grant(want) };
+        if !preempted && granted < want {
             self.counters.budget_denied += 1;
         }
 
         let mut cfg = self.config.clone();
         cfg.max_retries = granted;
-        if quarantined {
-            // Substitute the known-good paper config while the breaker
-            // cools down.
-            cfg.base.params = SortParams::e17_u256();
-        }
+        cfg.base.params = exec_params;
 
         let mut checkpoints = Vec::new();
-        let result = match &job.payload {
-            Payload::Resume { checkpoint } => {
-                self.counters.resumed += 1;
-                resume_sort_robust::<u32>(checkpoint, &cfg, &job.plan)
-            }
-            Payload::Fresh { input, algo } if !job.checkpoint_policy.is_noop() => {
-                simulate_sort_robust_checkpointed(
-                    input,
-                    *algo,
-                    &cfg,
-                    &job.plan,
-                    job.checkpoint_policy,
-                )
-                .map(|(run, taken)| {
-                    checkpoints = taken;
-                    run
-                })
-            }
-            Payload::Fresh { input, algo } => simulate_sort_robust(input, *algo, &cfg, &job.plan),
+        let result = match preempt {
+            Some(err) => Err(err),
+            None => match &job.payload {
+                Payload::Resume { checkpoint } => {
+                    self.counters.resumed += 1;
+                    resume_sort_robust::<u32>(checkpoint, &cfg, &job.plan)
+                }
+                Payload::Fresh { input, algo } if !job.checkpoint_policy.is_noop() => {
+                    simulate_sort_robust_checkpointed(
+                        input,
+                        *algo,
+                        &cfg,
+                        &job.plan,
+                        job.checkpoint_policy,
+                    )
+                    .map(|(run, taken)| {
+                        checkpoints = taken;
+                        run
+                    })
+                }
+                Payload::Fresh { input, algo } => {
+                    simulate_sort_robust(input, *algo, &cfg, &job.plan)
+                }
+            },
         };
         self.counters.checkpoints_taken += checkpoints.len() as u64;
 
@@ -748,8 +1065,8 @@ impl SortService {
             }
             Err(_) => 0.0,
         };
-        if self.resilience.breaker.enabled && !is_resume && !quarantined {
-            // Success means the requested config carried the job without
+        if let Some(fk) = &feed_key {
+            // Success means the executed config carried the job without
             // pipeline-level degradation; a fallback rescue is a health
             // failure of the config even though the job's output is fine.
             let success = match &result {
@@ -758,9 +1075,14 @@ impl SortService {
             };
             let at = self.clock_s + elapsed;
             let bc = self.resilience.breaker;
-            self.breaker_for(key.clone()).on_outcome(success, at, &bc);
+            self.breaker_for(fk.clone()).on_outcome(success, at, &bc);
         }
         self.tally_breaker_transitions(&key, transitions_before);
+        if let (Some(fk), Some(before)) = (&feed_key, feed_transitions_before) {
+            // The stepped-down rung's breaker is a different one; the
+            // filter above guarantees this never double-tallies.
+            self.tally_breaker_transitions(fk, before);
+        }
         self.clock_s += elapsed;
 
         // Deadline enforcement on the exact modeled duration.
@@ -776,6 +1098,42 @@ impl SortService {
             Err(_) => self.counters.failed += 1,
         }
 
+        // Canary settlement: a clean run (verified, no fallback rescue,
+        // deadline met) extends the candidate's streak and promotes it
+        // to the active rung at the configured length; anything else
+        // rolls the candidate back — the previously active rung simply
+        // stays active, which is the whole rollback.
+        if is_canary {
+            self.counters.canary_jobs += 1;
+            let success = match &result {
+                Ok(run) => run.report.counters.fallbacks == 0,
+                Err(_) => false,
+            };
+            let algo = job.algo_label();
+            let state = self.tuning.as_mut().expect("canary implies tuning");
+            if success {
+                state.canary_successes += 1;
+                let streak = state.canary_successes;
+                if state.policy.canary.is_some_and(|c| streak >= c.promote_after) {
+                    let rank = choice.as_ref().expect("canary implies a choice").rank;
+                    if let Some(slot) = state.active.iter_mut().find(|(a, _)| *a == algo) {
+                        slot.1 = rank;
+                    }
+                    state.canary_retired = true;
+                    self.counters.canary_promotions += 1;
+                }
+            } else {
+                state.canary_retired = true;
+                self.counters.canary_rollbacks += 1;
+            }
+        }
+
+        let tuned = if choice.is_some() && !preempted { Some(exec_params) } else { None };
+        let degraded = choice.as_ref().is_some_and(|c| c.degraded) && !preempted;
+        if tuned.is_some() {
+            self.counters.tuned_jobs += 1;
+        }
+
         // Telemetry settles last, from the same values the outcome is
         // built from — never the other way around.
         if let Some(reg) = &mut self.telemetry {
@@ -786,7 +1144,16 @@ impl SortService {
             if probe {
                 reg.inc("service_probes_total", 1);
             }
-            if granted < want {
+            if tuned.is_some() {
+                reg.inc("service_tuned_jobs_total", 1);
+            }
+            if degraded {
+                reg.inc("service_degraded_jobs_total", 1);
+            }
+            if is_canary {
+                reg.inc("service_canary_jobs_total", 1);
+            }
+            if !preempted && granted < want {
                 reg.inc("service_budget_denied_total", 1);
             }
             match &result {
@@ -813,6 +1180,9 @@ impl SortService {
             result,
             quarantined,
             probe,
+            degraded,
+            canary: is_canary,
+            tuned,
             retries_granted: granted,
             checkpoints,
         }
@@ -1097,6 +1467,205 @@ mod tests {
         let snaps = svc.breaker_snapshots();
         assert_eq!(snaps.len(), 1);
         assert_eq!(snaps[0].3, BreakerState::Closed);
+    }
+
+    #[test]
+    fn tuning_selects_the_best_rung_and_steps_down_open_breakers() {
+        use crate::cert::build_certificate_table;
+        use crate::sort::pipeline::SortConfig;
+        use crate::tuning::build_tuning_table;
+
+        let table = build_tuning_table(&build_certificate_table());
+        // Base config E=17,u=256 sits on rung 0 of the rtx cf ladder;
+        // rung 1 is E=15,u=512. Cooldown far above any modeled job
+        // time, so an opened breaker stays open for the whole batch.
+        let mut svc = SortService::with_resilience(
+            RobustConfig::new(SortConfig::paper_e17_u256()),
+            ResilienceConfig {
+                breaker: BreakerConfig { enabled: true, failure_threshold: 1, cooldown_s: 1.0 },
+                ..ResilienceConfig::default()
+            },
+        );
+        svc.enable_tuning(table, TuningPolicy::default()).expect("table verifies");
+
+        let input = InputSpec::UniformRandom { seed: 90 }.generate(4500);
+        let poison = || {
+            FaultPlan::from_sites(vec![site(
+                0,
+                0,
+                FaultKind::StuckBank { bank: 1, bit: 3 },
+                Persistence::Sticky,
+            )])
+        };
+        svc.submit_with_faults("trip-r0", input.clone(), SortAlgorithm::CfMerge, poison(), None);
+        svc.submit("stepped", input.clone(), SortAlgorithm::CfMerge);
+        svc.submit_with_faults("trip-r1", input.clone(), SortAlgorithm::CfMerge, poison(), None);
+        svc.submit("exhausted", input.clone(), SortAlgorithm::CfMerge);
+        let outcomes = svc.drain();
+
+        // Job 1 runs on rung 0; the fallback rescue opens its breaker.
+        assert_eq!(outcomes[0].tuned, Some(SortParams::e17_u256()));
+        assert!(outcomes[0].result.is_ok() && !outcomes[0].quarantined);
+        // Job 2 is quarantined by the open rung-0 breaker and steps DOWN
+        // the ladder to rung 1 instead of the hardcoded constant.
+        assert!(outcomes[1].quarantined);
+        assert_eq!(outcomes[1].tuned, Some(SortParams::e15_u512()));
+        assert!(!outcomes[1].degraded, "rung 1 is certified, not degraded");
+        let mut expect = input;
+        expect.sort_unstable();
+        assert_eq!(outcomes[1].result.as_ref().expect("stepped job verifies").run.output, expect);
+        // Job 3 steps down too, and its fallback rescue opens rung 1's
+        // breaker — stepped-down runs feed the rung they executed on.
+        assert!(outcomes[2].quarantined);
+        assert_eq!(outcomes[2].tuned, Some(SortParams::e15_u512()));
+        // Job 4 finds every rung's breaker open and fails closed: an
+        // uncertified config is never executed.
+        assert!(matches!(
+            &outcomes[3].result,
+            Err(SortError::Uncertified { why, .. }) if why.contains("exhausted")
+        ));
+        assert_eq!(outcomes[3].tuned, None);
+
+        let sc = svc.counters();
+        assert_eq!(sc.tuned_jobs, 3);
+        assert_eq!(sc.ladder_steps, 2);
+        assert_eq!(sc.uncertified_rejected, 1);
+        assert_eq!(sc.quarantined, 3);
+        assert_eq!(sc.breaker_opens, 2);
+        let open = svc
+            .breaker_snapshots()
+            .iter()
+            .filter(|s| s.3 == BreakerState::Open)
+            .map(|s| (s.1, s.2))
+            .collect::<Vec<_>>();
+        assert_eq!(open, vec![(17, 256), (15, 512)]);
+    }
+
+    #[test]
+    fn canary_rollback_is_deterministic_and_promotion_moves_the_rung() {
+        use crate::cert::build_certificate_table;
+        use crate::sort::pipeline::SortConfig;
+        use crate::tuning::{build_tuning_table, CanaryPolicy};
+
+        let run = |poison_third: bool| {
+            let table = build_tuning_table(&build_certificate_table());
+            let mut svc = SortService::new(RobustConfig::new(SortConfig::paper_e17_u256()));
+            svc.enable_tuning(
+                table,
+                TuningPolicy {
+                    canary: Some(CanaryPolicy {
+                        candidate: SortParams::e15_u512(),
+                        every: 3,
+                        promote_after: 2,
+                    }),
+                },
+            )
+            .expect("table verifies");
+            let input = InputSpec::UniformRandom { seed: 91 }.generate(4500);
+            for i in 1..=7 {
+                let plan = if poison_third && i == 3 {
+                    FaultPlan::from_sites(vec![site(
+                        0,
+                        0,
+                        FaultKind::StuckBank { bank: 1, bit: 3 },
+                        Persistence::Sticky,
+                    )])
+                } else {
+                    FaultPlan::none()
+                };
+                svc.submit_with_faults(
+                    &format!("job-{i}"),
+                    input.clone(),
+                    SortAlgorithm::CfMerge,
+                    plan,
+                    None,
+                );
+            }
+            let outcomes = svc.drain();
+            let trace: Vec<(Option<SortParams>, bool)> =
+                outcomes.iter().map(|o| (o.tuned, o.canary)).collect();
+            (svc, trace)
+        };
+
+        // Rollback: the poisoned canary (job 3, the cadence's first
+        // firing) is rescued by the fallback, so the candidate is
+        // retired and every later job stays on the active rung — and a
+        // replay of the same batch is bit-identical.
+        let (svc_a, trace_a) = run(true);
+        let (_, trace_b) = run(true);
+        assert_eq!(trace_a, trace_b, "canary decisions replay bit-identically");
+        assert_eq!(trace_a[2], (Some(SortParams::e15_u512()), true));
+        assert!(trace_a.iter().enumerate().all(|(i, t)| i == 2 || !t.1), "one canary fired");
+        assert!(trace_a
+            .iter()
+            .enumerate()
+            .all(|(i, t)| i == 2 || t.0 == Some(SortParams::e17_u256())));
+        let sc = svc_a.counters();
+        assert_eq!((sc.canary_jobs, sc.canary_rollbacks, sc.canary_promotions), (1, 1, 0));
+
+        // Promotion: clean canaries at jobs 3 and 6 reach the streak of
+        // two; job 7 then runs the candidate as the new active rung.
+        let (svc_c, trace_c) = run(false);
+        assert_eq!(trace_c[2], (Some(SortParams::e15_u512()), true));
+        assert_eq!(trace_c[5], (Some(SortParams::e15_u512()), true));
+        assert_eq!(trace_c[6], (Some(SortParams::e15_u512()), false), "promoted");
+        assert_eq!(trace_c[3], (Some(SortParams::e17_u256()), false));
+        let sc = svc_c.counters();
+        assert_eq!((sc.canary_jobs, sc.canary_rollbacks, sc.canary_promotions), (2, 0, 1));
+    }
+
+    #[test]
+    fn tuning_fails_closed_on_thrust_and_rejects_corrupt_tables() {
+        use crate::cert::build_certificate_table;
+        use crate::sort::pipeline::SortConfig;
+        use crate::tuning::build_tuning_table;
+
+        let table = build_tuning_table(&build_certificate_table());
+
+        // A tampered checksum can never be installed.
+        let mut corrupt = table.clone();
+        corrupt.checksum = "fnv1a64:0000000000000000".to_string();
+        let mut svc = SortService::new(RobustConfig::new(SortConfig::paper_e17_u256()));
+        assert!(matches!(
+            svc.enable_tuning(corrupt, TuningPolicy::default()),
+            Err(SortError::Uncertified { .. })
+        ));
+
+        // Thrust's serial merge has no certified degree bound: its
+        // ladder is empty and every job fails closed.
+        svc.enable_tuning(table, TuningPolicy::default()).expect("genuine table verifies");
+        let input = InputSpec::UniformRandom { seed: 92 }.generate(4500);
+        svc.submit("thrust-job", input, SortAlgorithm::ThrustMergesort);
+        let outcomes = svc.drain();
+        assert!(matches!(
+            &outcomes[0].result,
+            Err(SortError::Uncertified { algo, .. }) if algo == "thrust"
+        ));
+        assert_eq!(svc.counters().uncertified_rejected, 1);
+        assert_eq!(svc.counters().executed, 0, "rejected before execution");
+    }
+
+    #[test]
+    fn degraded_rungs_carry_the_explicit_marker() {
+        use crate::cert::build_certificate_table;
+        use crate::sort::pipeline::SortConfig;
+        use crate::tuning::build_tuning_table;
+        use cfmerge_gpu_sim::device::Device;
+
+        // On the 64-bit-bank profile every cf rung is degraded tier.
+        let table = build_tuning_table(&build_certificate_table());
+        let cfg =
+            SortConfig { device: Device::kepler_64bit_like(), ..SortConfig::paper_e17_u256() };
+        let mut svc = SortService::new(RobustConfig::new(cfg));
+        svc.enable_tuning(table, TuningPolicy::default()).expect("table verifies");
+        let input = InputSpec::UniformRandom { seed: 93 }.generate(4500);
+        svc.submit("degraded-job", input.clone(), SortAlgorithm::CfMerge);
+        let outcomes = svc.drain();
+        assert!(outcomes[0].degraded, "degraded-tier rung is explicitly marked");
+        assert_eq!(outcomes[0].tuned, Some(SortParams::e17_u256()));
+        let mut expect = input;
+        expect.sort_unstable();
+        assert_eq!(outcomes[0].result.as_ref().expect("verified").run.output, expect);
     }
 
     #[test]

@@ -111,6 +111,18 @@ pub enum SortError {
         /// Why no migration target worked.
         reason: String,
     },
+    /// The tuning ladder had no certified launch configuration for the
+    /// request, so the service failed closed rather than run an
+    /// uncertified config (no ladder for the pipeline/device, an empty
+    /// ladder, a corrupt table, or every rung's breaker open).
+    Uncertified {
+        /// Pipeline label the job asked for.
+        algo: String,
+        /// Device the service runs on.
+        device: String,
+        /// Why the ladder had nothing certified to offer.
+        why: String,
+    },
 }
 
 impl std::fmt::Display for SortError {
@@ -149,6 +161,9 @@ impl std::fmt::Display for SortError {
             }
             SortError::MigrationFailed { from_device, reason } => {
                 write!(f, "migration off device {from_device} failed: {reason}")
+            }
+            SortError::Uncertified { algo, device, why } => {
+                write!(f, "no certified launch config for {algo} on {device}: {why}")
             }
         }
     }
@@ -211,6 +226,12 @@ impl ToJson for SortError {
                 ("kind", Json::from("migration-failed")),
                 ("from_device", Json::from(*from_device)),
                 ("reason", Json::from(reason.as_str())),
+            ]),
+            SortError::Uncertified { algo, device, why } => Json::obj([
+                ("kind", Json::from("uncertified")),
+                ("algo", Json::from(algo.as_str())),
+                ("device", Json::from(device.as_str())),
+                ("why", Json::from(why.as_str())),
             ]),
         }
     }

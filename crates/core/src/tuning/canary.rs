@@ -1,0 +1,58 @@
+//! Tuning policy: how a service consumes a [`TuningTable`], including
+//! the deterministic canary rollout.
+//!
+//! [`TuningTable`]: crate::tuning::TuningTable
+
+use crate::params::SortParams;
+
+/// Deterministic canary rollout of a candidate rung.
+///
+/// Every `every`-th fresh job the ladder admits is routed to
+/// `candidate` instead of the active rung — a fixed cadence, so replays
+/// are bit-identical. A canary job that comes back degraded (a fallback
+/// rescue) or failed rolls the candidate back immediately: it is
+/// dropped and the active rung keeps serving. `promote_after`
+/// consecutive canary successes promote the candidate to the active
+/// rung. Canary outcomes never feed circuit breakers — a canary is an
+/// experiment on the candidate, not evidence about the active config.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CanaryPolicy {
+    /// The rung under trial. Must be on the job's ladder: a candidate
+    /// the certificates do not cover is rolled back without ever
+    /// executing (fail closed).
+    pub candidate: SortParams,
+    /// Cadence: jobs `every, 2·every, …` (1-based) run the candidate.
+    pub every: u64,
+    /// Consecutive successes required to promote the candidate.
+    pub promote_after: u32,
+}
+
+impl CanaryPolicy {
+    /// Whether the `count`-th admitted fresh job (1-based) is a canary.
+    #[must_use]
+    pub fn fires_on(&self, count: u64) -> bool {
+        self.every > 0 && count.is_multiple_of(self.every)
+    }
+}
+
+/// How a service consumes an installed tuning table. The default has no
+/// canary: jobs run the active rung, breakers walk the ladder.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TuningPolicy {
+    /// Optional canary rollout.
+    pub canary: Option<CanaryPolicy>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canary_cadence_is_deterministic() {
+        let p = CanaryPolicy { candidate: SortParams::e17_u256(), every: 3, promote_after: 2 };
+        let fired: Vec<u64> = (1..=9).filter(|&c| p.fires_on(c)).collect();
+        assert_eq!(fired, vec![3, 6, 9]);
+        let zero = CanaryPolicy { every: 0, ..p };
+        assert!((1..=9).all(|c| !zero.fires_on(c)));
+    }
+}

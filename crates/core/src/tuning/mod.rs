@@ -1,0 +1,42 @@
+//! The certified auto-tuner: a per-device **degradation ladder** built
+//! from prover certificates, occupancy, and the timing model.
+//!
+//! The ROADMAP's auto-tuner item names `results/certificates.json` as
+//! the contract: the prover already pins, per (E, u, device profile),
+//! exactly which shared-memory phases are conflict-free, which carry a
+//! certified worst-case degree bound, and which it cannot certify at
+//! all. This module turns that table into an executable policy:
+//!
+//! 1. [`search::build_tuning_table`] walks the certified (E, u,
+//!    device-profile) lattice and ranks every launchable configuration
+//!    into a [`TuningLadder`] — certified-conflict-free rungs first
+//!    (ordered by modeled cost), then certified *bounded-degree* rungs
+//!    (the `degraded` tier), with everything the prover cannot bound
+//!    listed as `excluded` and never eligible to run.
+//! 2. The [`TuningTable`] artifact (`results/tuning.json`) is
+//!    versioned and checksummed; [`TuningTable::verify`] fails closed
+//!    on schema or checksum mismatch, so a corrupted table can never
+//!    route a job.
+//! 3. `SortService::enable_tuning` /
+//!    `ClusterService::enable_tuning` select launch configs from the
+//!    ladder at admission, open breakers step *down* the ladder
+//!    instead of jumping to the hardcoded
+//!    [`SortParams::known_good_default`](crate::params::SortParams::known_good_default),
+//!    and a deterministic [`CanaryPolicy`] probes a candidate rung on
+//!    a fixed job cadence with automatic rollback on verification
+//!    failure.
+//!
+//! Everything is off by default: a service without `enable_tuning`
+//! behaves bit-identically to the pre-tuner service, which is what
+//! keeps every pinned artifact stable.
+
+pub mod canary;
+pub mod search;
+pub mod table;
+
+pub use canary::{CanaryPolicy, TuningPolicy};
+pub use search::{build_tuning_table, modeled_cost_s, TUNING_REF_N};
+pub use table::{
+    ExcludedConfig, RungTier, TuningLadder, TuningRung, TuningTable, ValidationScenario,
+    TUNING_SCHEMA_VERSION,
+};

@@ -1,0 +1,326 @@
+//! Property tests for the certified auto-tuner.
+//!
+//! Three families:
+//!
+//! 1. **Table round-trip** — any tuning table (arbitrary ladders, rung
+//!    mixes, exclusions, validation logs) survives JSON serialization
+//!    byte-exactly, and the checksum catches any post-hoc tampering
+//!    with the ladders.
+//! 2. **Ladder legality** — for any job mix on any device profile, a
+//!    tuned service only ever executes configurations that sit on the
+//!    device's degradation ladder; every non-`Certified` rung it runs
+//!    is marked `degraded` on the outcome; and a pipeline with no
+//!    certified rungs always fails closed with a typed
+//!    `SortError::Uncertified`, never a silent fallback.
+//! 3. **Canary determinism** — for any canary cadence, promotion
+//!    threshold, and fault mask, replaying the same submission stream
+//!    reproduces the same routing decisions, outcomes, and counters —
+//!    rollback is a pure function of the (seeded) history.
+
+use cfmerge::core::cert::{build_certificate_table, device_profiles};
+use cfmerge::core::inputs::InputSpec;
+use cfmerge::core::params::SortParams;
+use cfmerge::core::recovery::RobustConfig;
+use cfmerge::core::resilience::{BreakerConfig, ResilienceConfig, SortService};
+use cfmerge::core::sort::{SortAlgorithm, SortConfig, SortError};
+use cfmerge::core::tuning::{
+    build_tuning_table, CanaryPolicy, ExcludedConfig, RungTier, TuningLadder, TuningPolicy,
+    TuningRung, TuningTable, ValidationScenario, TUNING_SCHEMA_VERSION,
+};
+use cfmerge::gpu_sim::fault::{FaultKind, FaultPlan, FaultSite, Persistence};
+use cfmerge_json::{FromJson, Json, ToJson};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+/// One replayed outcome: (label, executed (E, u), canary, degraded, ok).
+type RouteTrace = (String, Option<(usize, usize)>, bool, bool, bool);
+
+/// The real table is deterministic and costs a full certificate build —
+/// do it once for the whole suite.
+fn real_table() -> &'static TuningTable {
+    static TABLE: OnceLock<TuningTable> = OnceLock::new();
+    TABLE.get_or_init(|| build_tuning_table(&build_certificate_table()))
+}
+
+fn sticky_poison() -> FaultPlan {
+    FaultPlan::from_sites(vec![FaultSite {
+        kernel: 0,
+        block: 0,
+        phase: 1,
+        kind: FaultKind::StuckBank { bank: 1, bit: 3 },
+        persistence: Persistence::Sticky,
+    }])
+}
+
+// ---------------------------------------------------------------------------
+// Family 1: table round-trip and checksum integrity
+// ---------------------------------------------------------------------------
+
+fn tier_strategy() -> impl Strategy<Value = RungTier> {
+    any::<bool>().prop_map(|b| if b { RungTier::Certified } else { RungTier::Degraded })
+}
+
+fn rung_strategy() -> impl Strategy<Value = TuningRung> {
+    (1usize..32, (6u32..10).prop_map(|p| 1usize << p), tier_strategy(), 1u32..9)
+        .prop_flat_map(|(e, u, tier, worst_degree)| {
+            (Just((e, u, tier, worst_degree)), 1u32..1025, 1u32..1_000_000)
+        })
+        .prop_map(|((e, u, tier, worst_degree), occ_q, cost_q)| TuningRung {
+            rank: 0, // assigned by the ladder strategy
+            e,
+            u,
+            tier,
+            worst_degree,
+            // Dyadic rationals: exactly representable, so byte-exact
+            // round-trip is a property of the writer, not of luck.
+            occupancy: f64::from(occ_q) / 1024.0,
+            modeled_cost_s: f64::from(cost_q) / 1024.0 / 1024.0,
+        })
+}
+
+/// The vendored proptest has no regex string strategies; construct
+/// strings from integers instead, and include JSON-hostile characters
+/// (quotes, backslashes, slashes) so escaping is part of the property.
+fn text_strategy(prefix: &'static str) -> impl Strategy<Value = String> {
+    (0u32..1000, any::<bool>()).prop_map(move |(n, spicy)| {
+        if spicy {
+            format!("{prefix}-{n} \"quoted\\path/{n}\"")
+        } else {
+            format!("{prefix}-{n}")
+        }
+    })
+}
+
+fn excluded_strategy() -> impl Strategy<Value = ExcludedConfig> {
+    (1usize..32, (6u32..10).prop_map(|p| 1usize << p), text_strategy("reason"))
+        .prop_map(|(e, u, reason)| ExcludedConfig { e, u, reason })
+}
+
+fn ladder_strategy() -> impl Strategy<Value = TuningLadder> {
+    (
+        text_strategy("profile"),
+        text_strategy("device"),
+        text_strategy("algo"),
+        proptest::collection::vec(rung_strategy(), 0..4),
+        proptest::collection::vec(excluded_strategy(), 0..3),
+    )
+        .prop_map(|(profile, device, algo, mut rungs, excluded)| {
+            for (rank, rung) in rungs.iter_mut().enumerate() {
+                rung.rank = rank;
+            }
+            TuningLadder { profile, device, algo, rungs, excluded }
+        })
+}
+
+fn scenario_strategy() -> impl Strategy<Value = ValidationScenario> {
+    (
+        text_strategy("scenario"),
+        any::<bool>(),
+        proptest::collection::vec(text_strategy("event"), 0..4),
+    )
+        .prop_map(|(name, pass, events)| ValidationScenario { name, pass, events })
+}
+
+fn table_strategy() -> impl Strategy<Value = TuningTable> {
+    (
+        proptest::collection::vec(ladder_strategy(), 0..4),
+        proptest::collection::vec(scenario_strategy(), 0..3),
+    )
+        .prop_map(|(ladders, validation)| TuningTable {
+            schema: TUNING_SCHEMA_VERSION,
+            cert_schema: 1,
+            checksum: TuningTable::compute_checksum(&ladders),
+            ladders,
+            validation,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any table round-trips through its JSON wire format losslessly
+    /// and verifies; tampering with a rung after checksumming is
+    /// always caught.
+    #[test]
+    fn prop_table_roundtrips_and_checksum_catches_tampering(table in table_strategy()) {
+        prop_assert!(table.verify().is_ok());
+        let text = table.to_json().to_string_pretty();
+        let back = TuningTable::from_json(&Json::parse(&text).unwrap()).unwrap();
+        prop_assert_eq!(&back, &table);
+        prop_assert!(back.verify().is_ok());
+
+        let mut corrupt = table.clone();
+        corrupt.checksum = "fnv1a64:0000000000000000".to_string();
+        prop_assert!(corrupt.verify().is_err(), "a forged checksum must not verify");
+
+        // Tamper with ladder content (when there is any): the checksum
+        // covers every rung field, so a single bumped degree is caught.
+        let mut tampered = table.clone();
+        if let Some(rung) =
+            tampered.ladders.iter_mut().find_map(|l| l.rungs.first_mut())
+        {
+            rung.worst_degree += 1;
+            prop_assert!(tampered.verify().is_err(), "ladder tampering must not verify");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Family 2: ladder legality under arbitrary job mixes
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// A tuned service never executes a configuration that is not on
+    /// the device's ladder; non-certified rungs always carry the
+    /// `degraded` marker; rung-less pipelines always fail closed.
+    #[test]
+    fn prop_tuned_service_only_runs_ladder_rungs(
+        profile_idx in 0usize..3,
+        threshold in 1u32..3,
+        seed in any::<u64>(),
+        jobs in proptest::collection::vec((any::<bool>(), any::<bool>()), 1..6),
+    ) {
+        let table = real_table();
+        let profile = &device_profiles()[profile_idx];
+        let cfg = RobustConfig::new(SortConfig {
+            device: profile.device.clone(),
+            ..SortConfig::paper_e17_u256()
+        });
+        let mut svc = SortService::with_resilience(
+            cfg,
+            ResilienceConfig {
+                breaker: BreakerConfig {
+                    enabled: true,
+                    failure_threshold: threshold,
+                    cooldown_s: 1.0,
+                },
+                ..ResilienceConfig::default()
+            },
+        );
+        svc.enable_tuning(table.clone(), TuningPolicy::default()).unwrap();
+        let input = InputSpec::UniformRandom { seed }.generate(4500);
+        for (i, (thrust, poisoned)) in jobs.iter().enumerate() {
+            let algo =
+                if *thrust { SortAlgorithm::ThrustMergesort } else { SortAlgorithm::CfMerge };
+            let plan = if *poisoned { sticky_poison() } else { FaultPlan::none() };
+            svc.submit_with_faults(&format!("job-{i}"), input.clone(), algo, plan, None);
+        }
+        let outcomes = svc.drain();
+        for ((thrust, _), o) in jobs.iter().zip(&outcomes) {
+            if *thrust {
+                // Thrust has no certified rungs on any profile: always a
+                // typed fail-closed rejection, never an execution.
+                prop_assert!(
+                    matches!(&o.result, Err(SortError::Uncertified { algo, .. }) if algo == "thrust"),
+                    "{}: thrust must fail closed, got {:?}", o.label, o.result
+                );
+                prop_assert!(o.tuned.is_none());
+                continue;
+            }
+            match o.tuned {
+                Some(p) => {
+                    let ladder = table
+                        .ladder_for(&profile.device.name, "cf-merge")
+                        .expect("cf ladder exists on every profile");
+                    let rung = ladder.rung_for(p);
+                    prop_assert!(
+                        rung.is_some(),
+                        "{}: executed E={},u={} which is not on the ladder", o.label, p.e, p.u
+                    );
+                    prop_assert_eq!(
+                        o.degraded,
+                        rung.unwrap().tier != RungTier::Certified,
+                        "{}: outcome degraded marker must mirror the rung tier", o.label
+                    );
+                }
+                // No config executed: only the fail-closed path (ladder
+                // exhausted under open breakers) produces this, and it
+                // must be typed.
+                None => prop_assert!(
+                    matches!(&o.result, Err(SortError::Uncertified { .. })),
+                    "{}: untuned cf job must be a typed rejection, got {:?}", o.label, o.result
+                ),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Family 3: canary determinism
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Canary routing, rollback, and promotion are deterministic: the
+    /// same submission stream replays to identical outcomes and
+    /// counters, for any cadence / promotion threshold / fault mask.
+    #[test]
+    fn prop_canary_rollout_is_deterministic(
+        seed in any::<u64>(),
+        every in 1u64..5,
+        promote_after in 1u32..4,
+        poison in proptest::collection::vec(any::<bool>(), 1..8),
+    ) {
+        let table = real_table();
+        let run = || {
+            let mut svc = SortService::new(RobustConfig::new(SortConfig::paper_e17_u256()));
+            svc.enable_tuning(
+                table.clone(),
+                TuningPolicy {
+                    canary: Some(CanaryPolicy {
+                        candidate: SortParams::e15_u512(),
+                        every,
+                        promote_after,
+                    }),
+                },
+            )
+            .unwrap();
+            let input = InputSpec::UniformRandom { seed }.generate(4500);
+            for (i, poisoned) in poison.iter().enumerate() {
+                let plan = if *poisoned { sticky_poison() } else { FaultPlan::none() };
+                svc.submit_with_faults(
+                    &format!("job-{i}"),
+                    input.clone(),
+                    SortAlgorithm::CfMerge,
+                    plan,
+                    None,
+                );
+            }
+            let outcomes = svc.drain();
+            let trace: Vec<RouteTrace> = outcomes
+                .iter()
+                .map(|o| {
+                    (
+                        o.label.clone(),
+                        o.tuned.map(|p| (p.e, p.u)),
+                        o.canary,
+                        o.degraded,
+                        o.result.is_ok(),
+                    )
+                })
+                .collect();
+            let sc = svc.counters();
+            (trace, (sc.canary_jobs, sc.canary_rollbacks, sc.canary_promotions, sc.tuned_jobs))
+        };
+        let (trace_a, counters_a) = run();
+        let (trace_b, counters_b) = run();
+        prop_assert_eq!(&trace_a, &trace_b, "replay must be bit-identical");
+        prop_assert_eq!(counters_a, counters_b);
+        // Every canary probe ran a real ladder rung.
+        let ladder = table
+            .ladder_for(&SortConfig::paper_e17_u256().device.name, "cf-merge")
+            .expect("rtx cf ladder");
+        for (label, tuned, canary, _, _) in &trace_a {
+            if *canary {
+                let (e, u) = tuned.expect("canary probes execute");
+                prop_assert!(
+                    ladder.rung_for(SortParams::new(e, u)).is_some(),
+                    "{label}: canary probed an off-ladder config"
+                );
+            }
+        }
+    }
+}
